@@ -1,0 +1,83 @@
+"""Scalability — the design's headline architectural claim.
+
+The paper's motivation for double hashing + self-contained objects is
+that dedup must not cap the scale-out property: no fingerprint index to
+shard, no MDS to bottleneck, chunk placement is pure computation.  This
+bench grows the cluster (2/4/8 hosts) under a fixed per-client load and
+checks that the deduplicated system's aggregate throughput scales like
+the original system's — i.e. dedup does not bend the scaling curve.
+"""
+
+import pytest
+
+from repro.bench import KiB, MiB, build_cluster, original, proposed, render_table, report
+from repro.workloads import FioJobSpec, FioRunner
+
+HOST_COUNTS = (2, 4, 8)
+
+
+def load_spec(num_hosts: int, seed: int):
+    # Offered load grows with the cluster (2 client jobs per host).
+    return FioJobSpec(
+        pattern="randwrite",
+        block_size=32 * KiB,
+        file_size=4 * MiB,
+        object_size=64 * KiB,
+        numjobs=2 * num_hosts,
+        iodepth=8,
+        runtime=0.2,
+        dedupe_percentage=50,
+        seed=seed,
+    )
+
+
+def run_experiment():
+    out = {}
+    for hosts in HOST_COUNTS:
+        plain = original(build_cluster(num_hosts=hosts, osds_per_host=4))
+        res_plain = FioRunner(plain, load_spec(hosts, seed=1)).run()
+        dedup = proposed(
+            build_cluster(num_hosts=hosts, osds_per_host=4),
+            engine_workers=4 * hosts,
+        )
+        dedup.engine.start()
+        res_dedup = FioRunner(dedup, load_spec(hosts, seed=2)).run()
+        dedup.engine.stop()
+        out[hosts] = (res_plain, res_dedup)
+    return out
+
+
+def test_scalability_dedup_preserves_scaleout(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = []
+    for hosts, (plain, dedup) in results.items():
+        rows.append(
+            (
+                f"{hosts} hosts ({4 * hosts} OSDs)",
+                f"{plain.bandwidth / 1e6:.0f}",
+                f"{dedup.bandwidth / 1e6:.0f}",
+                f"{dedup.bandwidth / plain.bandwidth:.2f}",
+            )
+        )
+        benchmark.extra_info[f"hosts{hosts}"] = {
+            "original_MBps": round(plain.bandwidth / 1e6, 1),
+            "proposed_MBps": round(dedup.bandwidth / 1e6, 1),
+        }
+    report(
+        render_table(
+            "Scalability: aggregate write throughput vs cluster size",
+            ["cluster", "Original MB/s", "Proposed MB/s", "ratio"],
+            rows,
+            notes=[
+                "offered load grows with the cluster; dedup must not bend the curve",
+            ],
+        )
+    )
+    # Both systems scale up with cluster size...
+    for system in (0, 1):
+        t2 = results[2][system].bandwidth
+        t8 = results[8][system].bandwidth
+        assert t8 > 2.0 * t2
+    # ...and the dedup system tracks the original within 30% at every size.
+    for hosts, (plain, dedup) in results.items():
+        assert dedup.bandwidth > 0.70 * plain.bandwidth

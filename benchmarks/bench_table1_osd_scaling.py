@@ -1,0 +1,70 @@
+"""Table 1 — local dedup ratio falls as the cluster grows; global stays.
+
+Paper: FIO workload with dedupe 50 %; OSD counts 4/8/12/16.
+Local dedup ratio: 15.5 / 8.1 / 5.5 / 4.1 %.  Global: 50 % throughout.
+
+Reproduction: 4 hosts with 1/2/3/4 OSDs each (so failure domains match
+the paper's fixed 4 nodes), same FIO dedupe-50 % dataset, analyzer at
+the 32 KiB chunk size.
+"""
+
+import pytest
+
+from repro.bench import KiB, MiB, build_cluster, original, render_table, report
+from repro.workloads import FioJobSpec, FioRunner
+
+PAPER_LOCAL = {4: 15.5, 8: 8.1, 12: 5.5, 16: 4.1}
+
+
+def measure(osds_per_host: int):
+    from repro.core import analyze_dedup_potential
+
+    storage = original(build_cluster(num_hosts=4, osds_per_host=osds_per_host))
+    spec = FioJobSpec(
+        pattern="write",
+        block_size=32 * KiB,
+        file_size=8 * MiB,
+        object_size=64 * KiB,
+        dedupe_percentage=50,
+        seed=50,
+    )
+    FioRunner(storage, spec).run()
+    return analyze_dedup_potential(storage.cluster, storage.pool, 32 * KiB)
+
+
+def run_experiment():
+    return {4 * n: measure(n) for n in (1, 2, 3, 4)}
+
+
+def test_table1_local_ratio_vs_osd_count(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = []
+    for osds, result in results.items():
+        rows.append(
+            (
+                f"{osds} OSD",
+                f"{100 * result.local_ratio:.1f}",
+                f"{PAPER_LOCAL[osds]:.1f}",
+                f"{100 * result.global_ratio:.1f}",
+                "50.0",
+            )
+        )
+        benchmark.extra_info[f"osd{osds}"] = {
+            "local_pct": round(100 * result.local_ratio, 2),
+            "global_pct": round(100 * result.global_ratio, 2),
+        }
+    report(
+        render_table(
+            "Table 1: dedup ratio vs OSD count (FIO dedupe 50%)",
+            ["cluster", "local", "paper", "global", "paper"],
+            rows,
+            notes=["fixed 4 hosts; OSDs per host 1/2/3/4"],
+        )
+    )
+    # Global is constant at the workload's dedupe ratio...
+    for result in results.values():
+        assert result.global_ratio == pytest.approx(0.5, abs=0.08)
+    # ...while local falls monotonically with OSD count.
+    locals_ = [results[n].local_ratio for n in (4, 8, 12, 16)]
+    assert locals_[0] > locals_[1] > locals_[3]
+    assert locals_[0] > 2 * locals_[3]

@@ -1,0 +1,108 @@
+"""Table 3 — data recovery accelerates under deduplication.
+
+Paper: 100 GB stored at a 50 % dedup ratio, 2-way replication; OSDs are
+removed and re-added; recovery time in seconds:
+
+| failed OSDs | 1     | 2     | 4     |
+|-------------|-------|-------|-------|
+| Original    | 68.04 | 71.35 | 81.77 |
+| Proposed    | 43.72 | 44.51 | 54.78 |
+
+Deduplication roughly halves the bytes each failed OSD held, so
+re-replication completes ~1.5-1.6x faster.
+
+Reproduction: 32 MiB at 50 % duplicate content (scaled ~3000x), same
+fail/out/recover cycle, recovery time measured on the simulated clock.
+"""
+
+import pytest
+
+from repro.bench import KiB, MiB, build_cluster, original, proposed, render_table, report
+from repro.cluster import recover_sync
+from repro.workloads import FioJobSpec, FioRunner
+
+PAPER = {
+    1: (68.04, 43.72),
+    2: (71.35, 44.51),
+    4: (81.77, 54.78),
+}
+
+FAIL_COUNTS = (1, 2, 4)
+
+
+def _fill(storage):
+    spec = FioJobSpec(
+        pattern="write",
+        block_size=32 * KiB,
+        file_size=8 * MiB,
+        object_size=64 * KiB,
+        numjobs=4,
+        dedupe_percentage=50,
+        seed=3,
+    )
+    FioRunner(storage, spec).run()
+
+
+def measure(dedup: bool, failed: int) -> float:
+    if dedup:
+        storage = proposed(build_cluster(), cache_on_flush=False)
+        _fill(storage)
+        storage.drain()
+    else:
+        storage = original(build_cluster())
+        _fill(storage)
+    cluster = storage.cluster
+    for osd_id in range(failed):
+        cluster.fail_osd(osd_id)
+    stats = recover_sync(cluster)
+    assert stats.objects_lost == 0
+    for osd_id in range(failed):
+        cluster.revive_osd(osd_id)
+    stats2 = recover_sync(cluster)
+    assert stats2.objects_lost == 0
+    return stats.duration + stats2.duration
+
+
+def run_experiment():
+    return {
+        failed: (measure(False, failed), measure(True, failed))
+        for failed in FAIL_COUNTS
+    }
+
+
+def test_table3_recovery_time(benchmark):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = []
+    for failed in FAIL_COUNTS:
+        orig_t, prop_t = results[failed]
+        p_orig, p_prop = PAPER[failed]
+        rows.append(
+            (
+                f"{failed} OSD",
+                f"{orig_t * 1e3:.1f}",
+                f"{prop_t * 1e3:.1f}",
+                f"{orig_t / prop_t:.2f}x",
+                f"{p_orig / p_prop:.2f}x",
+            )
+        )
+        benchmark.extra_info[f"failed{failed}"] = {
+            "original_s": round(orig_t, 4),
+            "proposed_s": round(prop_t, 4),
+        }
+    report(
+        render_table(
+            "Table 3: recovery time, 50% dup data, replication x2 (scaled)",
+            ["failed", "Original (ms)", "Proposed (ms)", "speedup", "paper speedup"],
+            rows,
+            notes=[
+                "data scaled 100GB -> 32MiB; absolute times are simulated",
+                "paper: dedup halves recovered bytes -> ~1.5x faster",
+            ],
+        )
+    )
+    for failed in FAIL_COUNTS:
+        orig_t, prop_t = results[failed]
+        # Proposed recovers meaningfully faster (paper: 1.49-1.60x).
+        assert prop_t < 0.85 * orig_t
+    # More failures -> more data to re-replicate -> longer recovery.
+    assert results[4][0] > results[1][0]

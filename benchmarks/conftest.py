@@ -1,0 +1,15 @@
+"""Benchmark-suite plumbing: benches register result tables via
+repro.bench.report(); this hook prints them in the terminal summary
+(stdout inside tests is captured by pytest, the summary is not)."""
+
+from repro.bench import harness
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not harness.RESULTS:
+        return
+    terminalreporter.section("paper-reproduction results")
+    for table in harness.RESULTS:
+        for line in table:
+            terminalreporter.write_line(line)
+        terminalreporter.write_line("")

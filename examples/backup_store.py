@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Backup series on a deduplicated cluster.
+
+Nightly backups re-store mostly unchanged data; global dedup keeps one
+copy of every unchanged block across all generations, so N generations
+cost roughly one base plus the accumulated churn — while each
+generation remains independently restorable.
+
+Run:  python examples/backup_store.py
+"""
+
+from repro.cluster import RadosCluster
+from repro.core import DedupConfig, DedupedStorage
+from repro.workloads import BackupSpec, BackupStream
+
+KiB, MiB = 1024, 1024 * 1024
+
+
+def main():
+    spec = BackupSpec(
+        dataset_size=2 * MiB,
+        block_size=32 * KiB,
+        mutation_rate=0.04,  # ~4% of blocks change per night
+        generations=7,
+        seed=21,
+    )
+    cluster = RadosCluster(num_hosts=4, osds_per_host=4, pg_num=64)
+    storage = DedupedStorage(
+        cluster,
+        DedupConfig(chunk_size=32 * KiB, cache_on_flush=False),
+        start_engine=False,
+    )
+    stream = BackupStream(spec)
+    histories = []
+
+    print(f"dataset {spec.dataset_size / MiB:.0f} MiB, "
+          f"{100 * spec.mutation_rate:.0f}% nightly churn\n")
+    for gen in range(spec.generations):
+        stream.write_generation(storage, gen)
+        histories.append(list(stream._last_changed))
+        storage.drain()
+        report = storage.space_report()
+        logical = (gen + 1) * spec.dataset_size
+        print(
+            f"  gen {gen}: logical {logical / MiB:5.1f} MiB | "
+            f"unique data {report.chunk_data_bytes / MiB:5.2f} MiB | "
+            f"dedup ratio {100 * report.ideal_dedup_ratio:5.1f}%"
+        )
+
+    # Every generation restores byte-identically — point-in-time recovery.
+    for gen in (0, spec.generations // 2, spec.generations - 1):
+        restored = stream.restore_generation(storage, gen)
+        expected = stream.expected_generation(gen, histories[gen])
+        assert restored == expected, f"generation {gen} corrupt!"
+        print(f"restore check: generation {gen} intact "
+              f"({len(restored) / MiB:.0f} MiB)")
+
+
+if __name__ == "__main__":
+    main()

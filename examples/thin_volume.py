@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""A thin-provisioned block volume on the deduplicated cluster.
+
+The paper evaluates through a kernel RBD block device; this example uses
+the library's equivalent — a BlockDevice striped over storage objects —
+to show a "100 MiB" volume that costs almost nothing until written,
+dedups what is written, and returns space on discard (TRIM).
+
+Run:  python examples/thin_volume.py
+"""
+
+from repro.cluster import RadosCluster
+from repro.core import BlockDevice, DedupConfig, DedupedStorage
+
+KiB, MiB = 1024, 1024 * 1024
+
+
+def usage(storage) -> str:
+    report = storage.space_report()
+    return (
+        f"unique data {report.chunk_data_bytes / KiB:7.0f} KiB, "
+        f"metadata {report.metadata_bytes / KiB:5.1f} KiB"
+    )
+
+
+def main():
+    cluster = RadosCluster(num_hosts=4, osds_per_host=4, pg_num=64)
+    storage = DedupedStorage(
+        cluster,
+        DedupConfig(chunk_size=32 * KiB, cache_on_flush=False),
+        start_engine=False,
+    )
+    volume = BlockDevice(storage, size=100 * MiB, object_size=1 * MiB, prefix="vol0")
+
+    print(f"created a {volume.size / MiB:.0f} MiB thin volume")
+    storage.drain()
+    print(f"  cost while empty:     {usage(storage)}")
+
+    # A filesystem writes its superblocks: tiny, scattered.
+    for offset in (0, 32 * MiB, 64 * MiB + 512 * KiB):
+        volume.write_sync(offset, b"SUPERBLOCK" * 100)
+    storage.drain()
+    print(f"  after 3 superblocks:  {usage(storage)}")
+
+    # An application writes 8 MiB of highly duplicated data mid-volume.
+    block = bytes(range(256)) * 128  # 32 KiB
+    volume.write_sync(10 * MiB, block * 256)  # 8 MiB of one repeated chunk
+    storage.drain()
+    print(f"  after 8 MiB of dups:  {usage(storage)}")
+
+    # Reads cross object boundaries transparently; unwritten space is zeros.
+    data = volume.read_sync(10 * MiB - 16, 64)
+    assert data[:16] == b"\x00" * 16 and data[16:48] == block[:32]
+    print("  boundary read across written/unwritten space: ok")
+
+    # The application is done: discard (TRIM) the 8 MiB region.
+    volume.discard_sync(10 * MiB, 8 * MiB)
+    storage.drain()
+    print(f"  after discard (TRIM): {usage(storage)}")
+    assert volume.read_sync(10 * MiB, 32 * KiB) == b"\x00" * (32 * KiB)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""VM image store: dedup x redundancy x compression (the Figure 13 scenario).
+
+A private cloud keeps many VM images cloned from the same OS template.
+This example writes ten thin images into four configurations and prints
+the cumulative footprint after each image — showing how deduplication
+collapses the shared OS base and how filesystem compression stacks on
+top.
+
+Run:  python examples/vm_image_store.py
+"""
+
+from repro.cluster import ErasureCoded, RadosCluster, Replicated
+from repro.compression import ZlibCodec, compressed_store_bytes
+from repro.core import DedupConfig, DedupedStorage, PlainStorage
+from repro.workloads import VmImagePopulation, VmPopulationSpec
+
+MiB = 1024 * 1024
+
+
+def build(name):
+    cluster = RadosCluster(num_hosts=4, osds_per_host=4, pg_num=64)
+    if name == "replication":
+        return PlainStorage(cluster, Replicated(2))
+    if name == "ec":
+        return PlainStorage(cluster, ErasureCoded(2, 1))
+    if name == "rep+dedup":
+        return DedupedStorage(
+            cluster, DedupConfig(cache_on_flush=False), start_engine=False
+        )
+    raise ValueError(name)
+
+
+def main():
+    spec = VmPopulationSpec(
+        num_vms=10,
+        image_size=8 * MiB,  # the paper's 8 GB images, scaled 1/1000
+        block_size=64 * 1024,
+        os_base_fraction=0.03125,
+        common_fraction=0.0,
+        zero_fraction=0.9375,  # thin images: most of the disk is untouched
+        compress_ratio=0.55,
+        seed=42,
+    )
+    codec = ZlibCodec(level=1)
+
+    for config in ("replication", "ec", "rep+dedup"):
+        storage = build(config)
+        population = VmImagePopulation(spec)
+        print(f"\n== {config} ==")
+        for vm in range(spec.num_vms):
+            population.write_vm(storage, vm, object_size=1 * MiB)
+            if config == "rep+dedup":
+                storage.drain()
+            raw = storage.cluster.total_used_bytes()
+            compressed = sum(
+                compressed_store_bytes(osd.store, codec)
+                for osd in storage.cluster.osds.values()
+            )
+            print(
+                f"  after image {vm + 1:2d}: raw {raw / MiB:7.2f} MiB"
+                f"   with fs compression {compressed / MiB:7.2f} MiB"
+            )
+
+    print(
+        "\nThe dedup configurations grow by only the per-image unique data;"
+        "\ncompression multiplies the saving (the paper's Figure 13)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""repro — reproduction of "Design of Global Data Deduplication for a
+Scale-out Distributed Storage System" (Oh et al., ICDCS 2018).
+
+The two entry points most users need:
+
+>>> from repro.cluster import RadosCluster
+>>> from repro.core import DedupConfig, DedupedStorage
+
+See README.md for a tour, DESIGN.md for the system inventory, and
+EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

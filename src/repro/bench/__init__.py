@@ -1,0 +1,31 @@
+"""Shared experiment harness used by the `benchmarks/` suite."""
+
+from .harness import (
+    KiB,
+    MiB,
+    build_cluster,
+    default_config,
+    fmt_bytes,
+    fmt_ms,
+    inline,
+    original,
+    proposed,
+    render_table,
+    report,
+    RESULTS,
+)
+
+__all__ = [
+    "KiB",
+    "MiB",
+    "build_cluster",
+    "default_config",
+    "original",
+    "proposed",
+    "inline",
+    "fmt_bytes",
+    "fmt_ms",
+    "render_table",
+    "report",
+    "RESULTS",
+]

@@ -1,0 +1,8 @@
+"""Chunking algorithms: static (fixed-size) and content-defined."""
+
+from .base import ChunkSpan, Chunker, validate_chunking
+from .cdc import GearChunker
+from .rabin import RabinChunker
+from .static import StaticChunker
+
+__all__ = ["ChunkSpan", "Chunker", "validate_chunking", "StaticChunker", "GearChunker", "RabinChunker"]

@@ -1,0 +1,56 @@
+"""Chunking primitives shared by all chunkers.
+
+A chunker splits an object's payload into chunks — the unit of
+redundancy detection (paper §4.4: "a chunk is a basic unit for detecting
+redundancy of given data").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Protocol
+
+__all__ = ["ChunkSpan", "Chunker"]
+
+
+@dataclass(frozen=True)
+class ChunkSpan:
+    """One chunk: its byte range within the object, and its bytes."""
+
+    offset: int
+    length: int
+    data: bytes
+
+    @property
+    def end(self) -> int:
+        """Exclusive end offset."""
+        return self.offset + self.length
+
+    def __post_init__(self):
+        if self.offset < 0:
+            raise ValueError(f"negative offset {self.offset}")
+        if self.length != len(self.data):
+            raise ValueError(
+                f"length {self.length} != data size {len(self.data)}"
+            )
+
+
+class Chunker(Protocol):
+    """Anything that can split a payload into chunk spans."""
+
+    def chunk(self, data: bytes) -> List[ChunkSpan]:
+        """Split ``data``; spans are contiguous and cover it exactly."""
+        ...
+
+
+def validate_chunking(data: bytes, spans: List[ChunkSpan]) -> None:
+    """Assert the spans tile ``data`` exactly (used by tests)."""
+    pos = 0
+    for span in spans:
+        if span.offset != pos:
+            raise AssertionError(f"gap/overlap at {pos}: span starts {span.offset}")
+        if data[span.offset : span.end] != span.data:
+            raise AssertionError(f"span data mismatch at {span.offset}")
+        pos = span.end
+    if pos != len(data):
+        raise AssertionError(f"spans cover {pos} of {len(data)} bytes")

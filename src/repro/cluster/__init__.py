@@ -1,0 +1,84 @@
+"""Simulated scale-out distributed storage substrate (RADOS-like).
+
+The decentralised, shared-nothing storage system of the paper's §2.1:
+CRUSH-style hash placement over hosts and OSDs, replicated and
+erasure-coded pools, per-object transactions with xattr/omap metadata,
+failure handling, and recovery — all running on modelled hardware under
+a discrete-event clock.
+"""
+
+from .clustermap import ClusterMap, OsdInfo
+from .crush import CrushMap, stable_hash64, straw2_select
+from .ec import GF256, ReedSolomon
+from .hardware import (
+    Cpu,
+    CpuSpec,
+    Disk,
+    DiskSpec,
+    HardwareProfile,
+    Nic,
+    NicSpec,
+)
+from .objectstore import (
+    NoSuchObject,
+    ObjectExists,
+    ObjectKey,
+    ObjectStore,
+    StoredObject,
+    Transaction,
+    PER_OBJECT_OVERHEAD,
+)
+from .osd import Node, OSD, OsdDownError, OsdFullError
+from .pool import ErasureCoded, Pool, Replicated
+from .rados import Client, NotEnoughReplicas, RadosCluster
+from .recovery import RecoveryStats, plan_recovery, recover, recover_sync
+from .scrub import (
+    ReplicaScrubReport,
+    repair_pool,
+    repair_pool_sync,
+    scrub_pool,
+    scrub_pool_sync,
+)
+
+__all__ = [
+    "ClusterMap",
+    "OsdInfo",
+    "CrushMap",
+    "stable_hash64",
+    "straw2_select",
+    "GF256",
+    "ReedSolomon",
+    "HardwareProfile",
+    "DiskSpec",
+    "NicSpec",
+    "CpuSpec",
+    "Disk",
+    "Nic",
+    "Cpu",
+    "ObjectKey",
+    "StoredObject",
+    "Transaction",
+    "ObjectStore",
+    "NoSuchObject",
+    "ObjectExists",
+    "PER_OBJECT_OVERHEAD",
+    "Node",
+    "OSD",
+    "OsdDownError",
+    "OsdFullError",
+    "Pool",
+    "Replicated",
+    "ErasureCoded",
+    "Client",
+    "RadosCluster",
+    "NotEnoughReplicas",
+    "RecoveryStats",
+    "plan_recovery",
+    "recover",
+    "recover_sync",
+    "ReplicaScrubReport",
+    "scrub_pool",
+    "scrub_pool_sync",
+    "repair_pool",
+    "repair_pool_sync",
+]

@@ -1,0 +1,212 @@
+"""Reed-Solomon erasure coding over GF(2^8).
+
+The paper evaluates the dedup design on both replicated and erasure-coded
+pools (EC ``k=2, m=1``, §6.4.1).  This module is a from-scratch, real
+codec — not a size-only model: shards are actual bytes, any ``m`` lost
+shards can be reconstructed, and decode failures raise.
+
+The code is systematic: the first ``k`` shards are the data split
+column-wise, the last ``m`` are parity.  The generator matrix is a
+Vandermonde matrix normalised so its top ``k`` rows are the identity,
+which guarantees the MDS property (any ``k`` of the ``k+m`` rows are
+invertible).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["GF256", "ReedSolomon"]
+
+
+class GF256:
+    """Arithmetic in GF(2^8) with the polynomial 0x11D.
+
+    0x11D (x^8 + x^4 + x^3 + x^2 + 1) is the conventional Reed-Solomon
+    field polynomial because 2 is a primitive element under it, which
+    lets exp/log tables be built from powers of 2.
+    """
+
+    _EXP: Optional[np.ndarray] = None
+    _LOG: Optional[np.ndarray] = None
+    _MUL: Optional[np.ndarray] = None
+
+    @classmethod
+    def _tables(cls):
+        if cls._EXP is None:
+            exp = np.zeros(512, dtype=np.uint8)
+            log = np.zeros(256, dtype=np.int32)
+            x = 1
+            for i in range(255):
+                exp[i] = x
+                log[x] = i
+                x <<= 1
+                if x & 0x100:
+                    x ^= 0x11D
+            exp[255:510] = exp[:255]
+            mul = np.zeros((256, 256), dtype=np.uint8)
+            for a in range(1, 256):
+                mul[a, 1:] = exp[(log[a] + log[1:256]) % 255]
+            cls._EXP, cls._LOG, cls._MUL = exp, log, mul
+        return cls._EXP, cls._LOG, cls._MUL
+
+    @classmethod
+    def mul(cls, a: int, b: int) -> int:
+        """Multiply two field elements."""
+        _, _, mul = cls._tables()
+        return int(mul[a, b])
+
+    @classmethod
+    def inv(cls, a: int) -> int:
+        """Multiplicative inverse; raises on zero."""
+        if a == 0:
+            raise ZeroDivisionError("GF(256) inverse of zero")
+        exp, log, _ = cls._tables()
+        return int(exp[255 - int(log[a])])
+
+    @classmethod
+    def pow(cls, a: int, n: int) -> int:
+        """``a ** n`` in the field."""
+        if n == 0:
+            return 1
+        if a == 0:
+            return 0
+        exp, log, _ = cls._tables()
+        return int(exp[(int(log[a]) * n) % 255])
+
+    @classmethod
+    def mul_bytes(cls, coef: int, data: np.ndarray) -> np.ndarray:
+        """Multiply every byte of ``data`` by the scalar ``coef``."""
+        _, _, mul = cls._tables()
+        return mul[coef][data]
+
+    @classmethod
+    def mat_mul(cls, a: Sequence[Sequence[int]], b: Sequence[Sequence[int]]) -> List[List[int]]:
+        """Matrix product over the field (small matrices, pure Python)."""
+        rows, inner, cols = len(a), len(b), len(b[0])
+        out = [[0] * cols for _ in range(rows)]
+        for i in range(rows):
+            for j in range(cols):
+                acc = 0
+                for t in range(inner):
+                    acc ^= cls.mul(a[i][t], b[t][j])
+                out[i][j] = acc
+        return out
+
+    @classmethod
+    def mat_inv(cls, m: Sequence[Sequence[int]]) -> List[List[int]]:
+        """Invert a square matrix over the field (Gauss-Jordan).
+
+        Raises ``ValueError`` if the matrix is singular.
+        """
+        n = len(m)
+        aug = [list(row) + [1 if i == j else 0 for j in range(n)] for i, row in enumerate(m)]
+        for col in range(n):
+            pivot = next((r for r in range(col, n) if aug[r][col] != 0), None)
+            if pivot is None:
+                raise ValueError("singular matrix over GF(256)")
+            aug[col], aug[pivot] = aug[pivot], aug[col]
+            inv_p = cls.inv(aug[col][col])
+            aug[col] = [cls.mul(v, inv_p) for v in aug[col]]
+            for r in range(n):
+                if r != col and aug[r][col] != 0:
+                    factor = aug[r][col]
+                    aug[r] = [
+                        aug[r][c] ^ cls.mul(factor, aug[col][c])
+                        for c in range(2 * n)
+                    ]
+        return [row[n:] for row in aug]
+
+
+class ReedSolomon:
+    """A systematic ``k + m`` Reed-Solomon codec.
+
+    >>> rs = ReedSolomon(k=2, m=1)
+    >>> shards = rs.encode(b"hello world!")
+    >>> rs.decode([shards[0], None, shards[2]], length=12)
+    b'hello world!'
+    """
+
+    def __init__(self, k: int, m: int):
+        if k < 1 or m < 0:
+            raise ValueError(f"invalid EC profile k={k} m={m}")
+        if k + m > 255:
+            raise ValueError("k + m must be <= 255 for GF(256)")
+        self.k = k
+        self.m = m
+        self.n = k + m
+        self._matrix = self._systematic_vandermonde(k, self.n)
+        # Parity rows as a numpy array for fast encoding.
+        self._parity = np.array(self._matrix[k:], dtype=np.uint8)
+
+    @staticmethod
+    def _systematic_vandermonde(k: int, n: int) -> List[List[int]]:
+        vandermonde = [[GF256.pow(i, j) for j in range(k)] for i in range(n)]
+        top_inv = GF256.mat_inv([row[:] for row in vandermonde[:k]])
+        return GF256.mat_mul(vandermonde, top_inv)
+
+    def shard_size(self, length: int) -> int:
+        """Bytes per shard for a payload of ``length`` bytes."""
+        return (length + self.k - 1) // self.k
+
+    def encode(self, data: bytes) -> List[bytes]:
+        """Split ``data`` into ``k`` data shards and compute ``m`` parity.
+
+        The payload is zero-padded to a multiple of ``k``; callers must
+        remember the original length to :meth:`decode`.
+        """
+        size = self.shard_size(len(data)) if data else 1
+        padded = np.zeros(size * self.k, dtype=np.uint8)
+        if data:
+            padded[: len(data)] = np.frombuffer(data, dtype=np.uint8)
+        data_shards = padded.reshape(self.k, size)
+        shards = [bytes(data_shards[i]) for i in range(self.k)]
+        for row in range(self.m):
+            acc = np.zeros(size, dtype=np.uint8)
+            for col in range(self.k):
+                coef = int(self._parity[row, col])
+                if coef:
+                    acc ^= GF256.mul_bytes(coef, data_shards[col])
+            shards.append(bytes(acc))
+        return shards
+
+    def decode(self, shards: Sequence[Optional[bytes]], length: int) -> bytes:
+        """Reconstruct the payload from any ``k`` surviving shards.
+
+        ``shards`` has ``k + m`` slots; lost shards are ``None``.  Raises
+        ``ValueError`` when fewer than ``k`` survive.
+        """
+        if len(shards) != self.n:
+            raise ValueError(f"expected {self.n} shard slots, got {len(shards)}")
+        present = [i for i, s in enumerate(shards) if s is not None]
+        if len(present) < self.k:
+            raise ValueError(
+                f"unrecoverable: {len(present)} shards present, need {self.k}"
+            )
+        use = present[: self.k]
+        if use == list(range(self.k)):
+            payload = b"".join(shards[i] for i in range(self.k))
+            return payload[:length]
+        sub = [self._matrix[i] for i in use]
+        inv = GF256.mat_inv(sub)
+        size = len(shards[use[0]])
+        survivors = [
+            np.frombuffer(shards[i], dtype=np.uint8) for i in use
+        ]
+        out = []
+        for row in range(self.k):
+            acc = np.zeros(size, dtype=np.uint8)
+            for col in range(self.k):
+                coef = inv[row][col]
+                if coef:
+                    acc ^= GF256.mul_bytes(coef, survivors[col])
+            out.append(acc)
+        payload = b"".join(bytes(chunk) for chunk in out)
+        return payload[:length]
+
+    def reconstruct_shard(self, shards: Sequence[Optional[bytes]], index: int, length: int) -> bytes:
+        """Recompute the single shard ``index`` from the survivors."""
+        data = self.decode(shards, length)
+        return self.encode(data)[index]

@@ -1,0 +1,130 @@
+"""Simulated storage nodes and OSD daemons.
+
+A :class:`Node` models one physical server: a NIC and a CPU shared by
+all OSD daemons on it (the paper's testbed runs four OSDs per server).
+An :class:`OSD` couples an object store with a disk device model; its
+execute methods are simulation processes that charge device and CPU time
+before touching the store.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..sim import Simulator
+from .clustermap import OsdInfo
+from .hardware import Cpu, Disk, HardwareProfile, Nic
+from .objectstore import ObjectKey, ObjectStore, Transaction
+
+__all__ = ["Node", "OSD"]
+
+
+class Node:
+    """One server: a NIC and CPU shared by its resident OSDs."""
+
+    def __init__(self, sim: Simulator, name: str, profile: HardwareProfile):
+        self.sim = sim
+        self.name = name
+        self.nic = Nic(sim, profile.nic)
+        self.cpu = Cpu(sim, profile.cpu)
+        self.osds: List["OSD"] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Node {self.name} osds={[o.osd_id for o in self.osds]}>"
+
+
+class OSD:
+    """One object storage daemon: store + disk + liveness."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        osd_id: int,
+        node: Node,
+        info: OsdInfo,
+        profile: HardwareProfile,
+    ):
+        self.sim = sim
+        self.osd_id = osd_id
+        self.node = node
+        self.info = info
+        self.store = ObjectStore()
+        self.disk = Disk(sim, profile.disk)
+        node.osds.append(self)
+        #: Operation counters for metrics.
+        self.op_reads = 0
+        self.op_writes = 0
+
+    @property
+    def up(self) -> bool:
+        """Whether the daemon is serving (mirrors the cluster map)."""
+        return self.info.up
+
+    @property
+    def full_threshold(self) -> float:
+        """Bytes of usage at which this OSD refuses further writes."""
+        return self.disk.spec.capacity_bytes * self.disk.spec.full_ratio
+
+    @property
+    def is_full(self) -> bool:
+        """Whether usage has crossed the full threshold."""
+        return self.store.used_bytes() >= self.full_threshold
+
+    def _check_capacity(self, incoming_bytes: int) -> None:
+        if self.store.used_bytes() + incoming_bytes > self.full_threshold:
+            raise OsdFullError(self.osd_id)
+
+    # -- simulation processes -------------------------------------------------
+
+    def execute_read(self, key: ObjectKey, offset: int = 0, length: Optional[int] = None):
+        """Process: read object bytes, charging disk and CPU time."""
+        if not self.up:
+            raise OsdDownError(self.osd_id)
+        self.op_reads += 1
+        data = self.store.read(key, offset, length)
+        yield from self.node.cpu.execute(self.node.cpu.spec.per_io_cost)
+        yield from self.disk.read(max(len(data), 1))
+        return data
+
+    def execute_transaction(self, txn: Transaction):
+        """Process: apply a transaction, charging disk and CPU time.
+
+        The store mutation happens after the device time has elapsed, so
+        a concurrent reader at an earlier simulated instant sees the old
+        state (a transaction commits at its completion time).
+        """
+        if not self.up:
+            raise OsdDownError(self.osd_id)
+        self._check_capacity(txn.io_bytes)
+        self.op_writes += 1
+        yield from self.node.cpu.execute(self.node.cpu.spec.per_io_cost)
+        yield from self.disk.write(max(txn.io_bytes, 1))
+        self.store.apply(txn)
+
+    def execute_push(self, key: ObjectKey, obj) -> object:
+        """Process: install a recovered/replicated full object copy."""
+        if not self.up:
+            raise OsdDownError(self.osd_id)
+        self._check_capacity(obj.footprint())
+        self.op_writes += 1
+        yield from self.disk.write(max(obj.footprint(), 1))
+        self.store.put_object(key, obj)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<OSD {self.osd_id} on {self.node.name} up={self.up}>"
+
+
+class OsdDownError(RuntimeError):
+    """An operation was routed to an OSD that is not serving."""
+
+    def __init__(self, osd_id: int):
+        super().__init__(f"osd.{osd_id} is down")
+        self.osd_id = osd_id
+
+
+class OsdFullError(RuntimeError):
+    """A write was refused because the OSD crossed its full ratio."""
+
+    def __init__(self, osd_id: int):
+        super().__init__(f"osd.{osd_id} is full")
+        self.osd_id = osd_id

@@ -1,0 +1,623 @@
+"""The simulated scale-out storage cluster (RADOS-like facade).
+
+:class:`RadosCluster` wires together the cluster map, CRUSH placement,
+nodes, OSDs, and pools, and exposes the client operations the dedup tier
+is built on: full/partial object writes, reads, removes, xattr/omap
+access, and atomic per-object transactions — over replicated *and*
+erasure-coded pools, with degraded-mode handling when OSDs are down.
+
+All operations are simulation processes (generators): they charge
+network, CPU, and disk time on the modelled devices and therefore
+exhibit queueing and interference.  Synchronous helpers (``*_sync`` and
+:meth:`RadosCluster.run`) drive the event loop for callers outside the
+simulation (tests, benchmarks).
+
+Semantics follow Ceph:
+
+* Writes go to the PG primary, which fans out to replicas (or encodes
+  and distributes shards); the ack returns once every available copy is
+  durable.
+* Reads are served by the primary (or by ``k`` shards + decode for EC).
+* A write succeeds in degraded mode while at least ``min_size`` copies
+  (or ``k`` shards) are writable; otherwise it raises.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from ..sim import Resource, Simulator
+from .clustermap import ClusterMap
+from .crush import CrushMap
+from .hardware import HardwareProfile, Nic
+from .objectstore import NoSuchObject, ObjectKey, StoredObject, Transaction
+from .osd import Node, OSD, OsdDownError
+from .pool import ErasureCoded, Pool, Replicated
+
+__all__ = ["Client", "RadosCluster", "NotEnoughReplicas"]
+
+_EC_LEN_XATTR = "_ec.length"
+_EC_IDX_XATTR = "_ec.index"
+#: Per-shard content checksum (Ceph stores the analogous hinfo_key):
+#: without it, a single corrupt shard in a k+1 profile cannot be located.
+_EC_CRC_XATTR = "_ec.crc"
+
+
+def _shard_crc(shard: bytes) -> bytes:
+    import zlib
+
+    return zlib.crc32(shard).to_bytes(4, "big")
+
+
+class NotEnoughReplicas(RuntimeError):
+    """Fewer than ``min_size`` copies/shards are writable or readable."""
+
+
+class _NodeAsClient:
+    """Lets a storage node stand in as the initiator of an internal op."""
+
+    def __init__(self, node):
+        self.node = node
+        self.nic = node.nic
+
+
+class Client:
+    """A client host with its own NIC (the paper uses three of them)."""
+
+    def __init__(self, sim: Simulator, name: str, profile: HardwareProfile):
+        self.sim = sim
+        self.name = name
+        self.nic = Nic(sim, profile.nic)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Client {self.name}>"
+
+
+class RadosCluster:
+    """A simulated shared-nothing scale-out storage cluster."""
+
+    def __init__(
+        self,
+        sim: Optional[Simulator] = None,
+        profile: Optional[HardwareProfile] = None,
+        num_hosts: int = 4,
+        osds_per_host: int = 4,
+        pg_num: int = 64,
+    ):
+        self.sim = sim if sim is not None else Simulator()
+        self.profile = profile if profile is not None else HardwareProfile()
+        self.default_pg_num = pg_num
+        self.cluster_map = ClusterMap()
+        self.crush = CrushMap(self.cluster_map)
+        self.nodes: Dict[str, Node] = {}
+        self.osds: Dict[int, OSD] = {}
+        self.pools: Dict[str, Pool] = {}
+        self._next_pool_id = 1
+        for h in range(num_hosts):
+            self.add_host(f"host{h}", osds_per_host)
+        self._default_client = Client(self.sim, "client0", self.profile)
+        # RADOS orders mutations per object at the PG: concurrent writes
+        # to one object serialise.
+        self._write_locks: Dict[ObjectKey, Resource] = {}
+
+    def _write_lock(self, key: ObjectKey) -> Resource:
+        lock = self._write_locks.get(key)
+        if lock is None:
+            lock = Resource(self.sim, capacity=1)
+            self._write_locks[key] = lock
+        return lock
+
+    # -- topology -----------------------------------------------------------
+
+    def add_host(self, name: str, num_osds: int, rack: str = "default") -> Node:
+        """Add a server with ``num_osds`` OSDs to the cluster."""
+        if name in self.nodes:
+            raise ValueError(f"duplicate host name {name!r}")
+        node = Node(self.sim, name, self.profile)
+        self.nodes[name] = node
+        for _ in range(num_osds):
+            osd_id = self.cluster_map.add_osd(name, rack=rack)
+            self.osds[osd_id] = OSD(
+                self.sim, osd_id, node, self.cluster_map.osds[osd_id], self.profile
+            )
+        return node
+
+    def client(self, name: str) -> Client:
+        """Create an additional client host."""
+        return Client(self.sim, name, self.profile)
+
+    def create_pool(
+        self,
+        name: str,
+        redundancy=None,
+        pg_num: Optional[int] = None,
+        failure_domain: str = "host",
+    ) -> Pool:
+        """Create a pool (default: 2-way replication, host domains)."""
+        if name in self.pools:
+            raise ValueError(f"duplicate pool name {name!r}")
+        if redundancy is None:
+            redundancy = Replicated(2)
+        pool = Pool(
+            pool_id=self._next_pool_id,
+            name=name,
+            redundancy=redundancy,
+            pg_num=pg_num if pg_num is not None else self.default_pg_num,
+            crush=self.crush,
+            failure_domain=failure_domain,
+        )
+        self._next_pool_id += 1
+        self.pools[name] = pool
+        return pool
+
+    def object_key(self, pool: Pool, oid: str) -> ObjectKey:
+        """The fully qualified key for an object name in ``pool``."""
+        return ObjectKey(pool.pool_id, pool.pg_of(oid), oid)
+
+    # -- acting-set helpers ---------------------------------------------------
+
+    def _acting_osds(self, pool: Pool, oid: str) -> List[OSD]:
+        return [self.osds[i] for i in pool.acting_set_for(oid)]
+
+    def _up_subset(self, osds: Iterable[OSD]) -> List[OSD]:
+        return [o for o in osds if o.up]
+
+    def _primary(self, pool: Pool, oid: str) -> OSD:
+        acting = self._acting_osds(pool, oid)
+        up = self._up_subset(acting)
+        if not up:
+            raise NotEnoughReplicas(f"no up OSD for {oid!r} in pool {pool.name!r}")
+        return up[0]
+
+    # -- network helper ---------------------------------------------------------
+
+    def _transfer(self, src_nic: Nic, dst_nic: Nic, nbytes: int):
+        """Process: move ``nbytes`` between two NICs (store-and-forward)."""
+        if src_nic is dst_nic:
+            return
+        yield from src_nic.send(nbytes)
+        yield self.sim.timeout(src_nic.spec.latency)
+        yield from dst_nic.receive(nbytes)
+
+    def _rpc_latency(self):
+        """Process: one small control message (request or ack)."""
+        yield self.sim.timeout(self.profile.nic.latency)
+
+    # -- replicated data path -----------------------------------------------------
+
+    def submit(self, pool: Pool, oid: str, txn: Transaction, client: Optional[Client] = None):
+        """Process: apply ``txn`` atomically on every replica of ``oid``.
+
+        This is the self-contained-object workhorse: chunk-map updates,
+        reference counts, dirty flags, and data all travel in one
+        transaction, so replication and recovery cover dedup metadata
+        with no extra machinery (paper §4.1).
+
+        On an erasure-coded pool any mutation is a full-stripe
+        read-modify-write (decode, apply, re-encode, rewrite all
+        shards) — the cost that makes EC random writes so slow in the
+        paper's Figure 12.
+        """
+        if pool.is_ec:
+            yield from self._ec_submit(pool, oid, txn, client)
+            return
+        client = client or self._default_client
+        acting = self._acting_osds(pool, oid)
+        up = self._up_subset(acting)
+        if len(up) < pool.redundancy.min_size:
+            raise NotEnoughReplicas(
+                f"{len(up)}/{len(acting)} replicas up; need {pool.redundancy.min_size}"
+            )
+        primary = up[0]
+        payload = txn.io_bytes
+        yield from self._transfer(client.nic, primary.node.nic, payload)
+        lock = self._write_lock(self.object_key(pool, oid))
+        yield lock.acquire()
+        try:
+            jobs = []
+            for osd in up:
+                jobs.append(
+                    self.sim.process(self._replica_apply(primary, osd, txn, payload))
+                )
+            yield self.sim.all_of(jobs)
+        finally:
+            lock.release()
+        yield from self._rpc_latency()  # ack to client
+
+    def _replica_apply(self, primary: OSD, replica: OSD, txn: Transaction, payload: int):
+        if replica.node is not primary.node:
+            yield from self._transfer(primary.node.nic, replica.node.nic, payload)
+        yield from replica.execute_transaction(txn)
+        if replica is not primary:
+            yield from self._rpc_latency()  # replica ack to primary
+
+    def write_full(self, pool: Pool, oid: str, data: bytes, client: Optional[Client] = None):
+        """Process: replace the whole object payload."""
+        if pool.is_ec:
+            yield from self._ec_write_full(pool, oid, data, client)
+            return
+        key = self.object_key(pool, oid)
+        txn = Transaction().write_full(key, data)
+        yield from self.submit(pool, oid, txn, client)
+
+    def write(self, pool: Pool, oid: str, offset: int, data: bytes, client: Optional[Client] = None):
+        """Process: write ``data`` at ``offset`` (partial overwrite).
+
+        On EC pools this is a full-stripe read-modify-write, which is
+        exactly the penalty the paper measures for EC random writes
+        (§6.4.1).
+        """
+        if pool.is_ec:
+            yield from self._ec_partial_write(pool, oid, offset, data, client)
+            return
+        key = self.object_key(pool, oid)
+        txn = Transaction().write(key, offset, data)
+        yield from self.submit(pool, oid, txn, client)
+
+    def remove(self, pool: Pool, oid: str, client: Optional[Client] = None):
+        """Process: delete the object from every replica/shard."""
+        key = self.object_key(pool, oid)
+        if pool.is_ec:
+            acting = self._up_subset(self._acting_osds(pool, oid))
+            jobs = []
+            for osd in acting:
+                if osd.store.exists(key):
+                    txn = Transaction().remove(key)
+                    jobs.append(self.sim.process(osd.execute_transaction(txn)))
+            if jobs:
+                yield self.sim.all_of(jobs)
+            return
+        txn = Transaction().remove(key)
+        yield from self.submit(pool, oid, txn, client)
+
+    def read(
+        self,
+        pool: Pool,
+        oid: str,
+        offset: int = 0,
+        length: Optional[int] = None,
+        client: Optional[Client] = None,
+    ):
+        """Process: read ``length`` bytes at ``offset``; returns bytes."""
+        if pool.is_ec:
+            data = yield from self._ec_read(pool, oid, client)
+            if length is None:
+                return data[offset:]
+            return data[offset : offset + length]
+        client = client or self._default_client
+        key = self.object_key(pool, oid)
+        primary = self._primary(pool, oid)
+        yield from self._rpc_latency()  # request
+        data = yield from primary.execute_read(key, offset, length)
+        yield from self._transfer(primary.node.nic, client.nic, len(data))
+        return data
+
+    # -- metadata access -----------------------------------------------------------
+
+    def stat(self, pool: Pool, oid: str):
+        """Process: object payload size (logical size for EC)."""
+        key = self.object_key(pool, oid)
+        primary = self._primary(pool, oid)
+        yield from self._rpc_latency()
+        if pool.is_ec:
+            shard = primary.store.get(key)
+            return int(shard.xattrs[_EC_LEN_XATTR].decode("ascii"))
+        return primary.store.stat(key)
+
+    def exists(self, pool: Pool, oid: str) -> bool:
+        """Whether any up replica holds the object (map-time check)."""
+        key = self.object_key(pool, oid)
+        return any(
+            osd.store.exists(key)
+            for osd in self._up_subset(self._acting_osds(pool, oid))
+        )
+
+    def getxattr(self, pool: Pool, oid: str, name: str):
+        """Process: read one xattr from the primary."""
+        key = self.object_key(pool, oid)
+        primary = self._primary(pool, oid)
+        yield from self._rpc_latency()
+        return primary.store.getxattr(key, name)
+
+    def setxattr(self, pool: Pool, oid: str, name: str, value: bytes, client=None):
+        """Process: set one xattr on all replicas/shards."""
+        key = self.object_key(pool, oid)
+        if pool.is_ec:
+            acting = self._up_subset(self._acting_osds(pool, oid))
+            jobs = [
+                self.sim.process(
+                    osd.execute_transaction(Transaction().setxattr(key, name, value))
+                )
+                for osd in acting
+                if osd.store.exists(key)
+            ]
+            if jobs:
+                yield self.sim.all_of(jobs)
+            return
+        yield from self.submit(pool, oid, Transaction().setxattr(key, name, value), client)
+
+    def omap_get(self, pool: Pool, oid: str, name: str):
+        """Process: read one omap value from the primary."""
+        key = self.object_key(pool, oid)
+        primary = self._primary(pool, oid)
+        yield from self._rpc_latency()
+        return primary.store.omap_get(key, name)
+
+    def omap_keys(self, pool: Pool, oid: str) -> List[str]:
+        """Map-time snapshot of omap keys on the primary."""
+        key = self.object_key(pool, oid)
+        primary = self._primary(pool, oid)
+        return list(primary.store.get(key).omap.keys())
+
+    # -- EC data path -------------------------------------------------------------
+
+    def _ec_acting_for_write(self, pool: Pool, oid: str) -> List[Optional[OSD]]:
+        acting = self._acting_osds(pool, oid)
+        up = [o if o.up else None for o in acting]
+        if sum(o is not None for o in up) < pool.redundancy.min_size:
+            raise NotEnoughReplicas(
+                f"only {sum(o is not None for o in up)} shards writable for {oid!r}"
+            )
+        return up
+
+    def _ec_write_full(self, pool: Pool, oid: str, data: bytes, client: Optional[Client]):
+        client = client or self._default_client
+        key = self.object_key(pool, oid)
+        primary = next(o for o in self._ec_acting_for_write(pool, oid) if o is not None)
+        yield from self._transfer(client.nic, primary.node.nic, len(data))
+        lock = self._write_lock(key)
+        yield lock.acquire()
+        try:
+            yield from self._ec_write_full_locked(pool, oid, data, client)
+        finally:
+            lock.release()
+        yield from self._rpc_latency()
+
+    def _ec_write_full_locked(
+        self,
+        pool: Pool,
+        oid: str,
+        data: bytes,
+        client: Optional[Client],
+        extra_xattrs: Optional[Dict[str, bytes]] = None,
+        omap: Optional[Dict[str, bytes]] = None,
+        replace_metadata: bool = False,
+    ):
+        key = self.object_key(pool, oid)
+        slots = self._ec_acting_for_write(pool, oid)
+        primary = next(o for o in slots if o is not None)
+        # Encode on the primary's CPU.
+        yield from primary.node.cpu.execute(primary.node.cpu.spec.ec_time(len(data)))
+        shards = pool.codec.encode(data)
+        internal = (_EC_LEN_XATTR, _EC_IDX_XATTR, _EC_CRC_XATTR)
+        jobs = []
+        for idx, osd in enumerate(slots):
+            if osd is None:
+                continue  # degraded: this shard is skipped until recovery
+            txn = (
+                Transaction()
+                .write_full(key, shards[idx])
+                .setxattr(key, _EC_LEN_XATTR, str(len(data)).encode("ascii"))
+                .setxattr(key, _EC_IDX_XATTR, str(idx).encode("ascii"))
+                .setxattr(key, _EC_CRC_XATTR, _shard_crc(shards[idx]))
+            )
+            if replace_metadata and osd.store.exists(key):
+                # Full-stripe RMW replaces user metadata: drop keys the
+                # new state no longer carries.
+                current = osd.store.get(key)
+                for name in current.xattrs:
+                    if name not in internal and name not in (extra_xattrs or {}):
+                        txn.rmxattr(key, name)
+                stale_omap = [
+                    name for name in current.omap if name not in (omap or {})
+                ]
+                if stale_omap:
+                    txn.omap_rm(key, stale_omap)
+            for name, value in (extra_xattrs or {}).items():
+                txn.setxattr(key, name, value)
+            if omap:
+                txn.omap_set(key, omap)
+            jobs.append(
+                self.sim.process(
+                    self._replica_apply(primary, osd, txn, len(shards[idx]))
+                )
+            )
+        yield self.sim.all_of(jobs)
+
+    def _ec_read(self, pool: Pool, oid: str, client: Optional[Client]):
+        client = client or self._default_client
+        key = self.object_key(pool, oid)
+        acting = self._acting_osds(pool, oid)
+        holders = [o for o in acting if o.up and o.store.exists(key)]
+        if not holders:
+            raise NoSuchObject(key)
+        if len(holders) < pool.codec.k:
+            raise NotEnoughReplicas(
+                f"only {len(holders)} shards readable for {oid!r}; need {pool.codec.k}"
+            )
+        primary = holders[0]
+        length = int(primary.store.getxattr(key, _EC_LEN_XATTR).decode("ascii"))
+        chosen = holders[: pool.codec.k]
+        yield from self._rpc_latency()  # request fan-out
+        jobs = [
+            self.sim.process(self._ec_fetch_shard(primary, osd, key))
+            for osd in chosen
+        ]
+        results = yield self.sim.all_of(jobs)
+        slots: List[Optional[bytes]] = [None] * pool.codec.n
+        for idx, shard in results:
+            slots[idx] = shard
+        # Decode on the primary's CPU, then return to the client.
+        yield from primary.node.cpu.execute(primary.node.cpu.spec.ec_time(length))
+        data = pool.codec.decode(slots, length)
+        yield from self._transfer(primary.node.nic, client.nic, length)
+        return data
+
+    def _ec_fetch_shard(self, primary: OSD, holder: OSD, key: ObjectKey):
+        shard = yield from holder.execute_read(key)
+        idx = int(holder.store.getxattr(key, _EC_IDX_XATTR).decode("ascii"))
+        if holder.node is not primary.node:
+            yield from self._transfer(holder.node.nic, primary.node.nic, len(shard))
+        return (idx, shard)
+
+    def _ec_submit(self, pool: Pool, oid: str, txn: Transaction, client: Optional[Client]):
+        """Process: apply a transaction on an EC pool via full-stripe RMW."""
+        from .objectstore import ObjectStore, StoredObject
+
+        client = client or self._default_client
+        key = self.object_key(pool, oid)
+        yield from self._transfer(client.nic, self._primary(pool, oid).node.nic, txn.io_bytes)
+        lock = self._write_lock(key)
+        yield lock.acquire()
+        try:
+            acting = self._acting_osds(pool, oid)
+            holder = next(
+                (o for o in acting if o.up and o.store.exists(key)), None
+            )
+            scratch = ObjectStore()
+            if holder is not None:
+                data = yield from self._ec_read_internal(pool, oid)
+                current = holder.store.get(key)
+                xattrs = {
+                    k: v
+                    for k, v in current.xattrs.items()
+                    if k not in (_EC_LEN_XATTR, _EC_IDX_XATTR)
+                }
+                scratch.put_object(
+                    key,
+                    StoredObject(
+                        data=bytearray(data),
+                        xattrs=xattrs,
+                        omap=dict(current.omap),
+                    ),
+                )
+            scratch.apply(txn)
+            if not scratch.exists(key):
+                yield from self._ec_remove_locked(pool, oid, key)
+                return
+            obj = scratch.get(key)
+            yield from self._ec_write_full_locked(
+                pool,
+                oid,
+                bytes(obj.data),
+                client,
+                extra_xattrs=dict(obj.xattrs),
+                omap=dict(obj.omap),
+                replace_metadata=True,
+            )
+        finally:
+            lock.release()
+        yield from self._rpc_latency()
+
+    def _ec_read_internal(self, pool: Pool, oid: str):
+        """Process: EC read delivered to the primary (no client hop)."""
+        acting = self._acting_osds(pool, oid)
+        primary = next(o for o in acting if o.up)
+        data = yield from self._ec_read(pool, oid, _NodeAsClient(primary.node))
+        return data
+
+    def _ec_remove_locked(self, pool: Pool, oid: str, key: ObjectKey):
+        jobs = []
+        for osd in self._up_subset(self._acting_osds(pool, oid)):
+            if osd.store.exists(key):
+                jobs.append(
+                    self.sim.process(osd.execute_transaction(Transaction().remove(key)))
+                )
+        if jobs:
+            yield self.sim.all_of(jobs)
+
+    def _ec_partial_write(self, pool: Pool, oid: str, offset: int, data: bytes, client):
+        key = self.object_key(pool, oid)
+        yield from self._ec_submit(
+            pool, oid, Transaction().write(key, offset, data), client
+        )
+
+    # -- enumeration & accounting -----------------------------------------------------
+
+    def list_objects(self, pool: Pool) -> List[str]:
+        """All object names in ``pool`` (union over all OSD stores)."""
+        names: Set[str] = set()
+        for osd in self.osds.values():
+            for key in osd.store.keys():
+                if key.pool_id == pool.pool_id:
+                    names.add(key.name)
+        return sorted(names)
+
+    def pool_used_bytes(self, pool: Pool) -> int:
+        """Raw bytes (all copies/shards, incl. metadata) used by ``pool``."""
+        total = 0
+        for osd in self.osds.values():
+            for key in osd.store.keys():
+                if key.pool_id == pool.pool_id:
+                    total += osd.store.get(key).footprint()
+        return total
+
+    def pool_logical_bytes(self, pool: Pool) -> int:
+        """Payload bytes counting each object once (primary copy)."""
+        total = 0
+        for oid in self.list_objects(pool):
+            key = self.object_key(pool, oid)
+            for osd_id in pool.acting_set_for(oid):
+                osd = self.osds[osd_id]
+                if osd.store.exists(key):
+                    if pool.is_ec:
+                        total += int(
+                            osd.store.getxattr(key, _EC_LEN_XATTR).decode("ascii")
+                        )
+                    else:
+                        total += osd.store.stat(key)
+                    break
+        return total
+
+    def total_used_bytes(self) -> int:
+        """Raw bytes used across every OSD."""
+        return sum(osd.store.used_bytes() for osd in self.osds.values())
+
+    # -- failure injection ---------------------------------------------------------
+
+    def fail_osd(self, osd_id: int, mark_out: bool = True) -> None:
+        """Simulate an OSD failure (down, and optionally out of placement).
+
+        The dead disk keeps its contents — they are simply unreachable —
+        so the cluster can still tell "degraded" apart from "lost".
+        """
+        self.cluster_map.mark_down(osd_id)
+        if mark_out:
+            self.cluster_map.mark_out(osd_id)
+
+    def revive_osd(self, osd_id: int) -> None:
+        """Re-add a failed OSD with a fresh (empty) disk.
+
+        Matches the paper's Table 3 methodology ("removing and re-adding
+        the OSD"): the rejoining OSD starts empty and recovery backfills
+        it.
+        """
+        self.osds[osd_id].store = type(self.osds[osd_id].store)()
+        self.cluster_map.mark_up(osd_id)
+        self.cluster_map.mark_in(osd_id)
+
+    # -- sync bridge -----------------------------------------------------------------
+
+    def run(self, gen):
+        """Drive the event loop until process ``gen`` completes."""
+        return self.sim.run_until_complete(self.sim.process(gen))
+
+    def write_full_sync(self, pool: Pool, oid: str, data: bytes) -> None:
+        """Synchronous :meth:`write_full` (drives the event loop)."""
+        self.run(self.write_full(pool, oid, data))
+
+    def write_sync(self, pool: Pool, oid: str, offset: int, data: bytes) -> None:
+        """Synchronous :meth:`write`."""
+        self.run(self.write(pool, oid, offset, data))
+
+    def read_sync(self, pool: Pool, oid: str, offset: int = 0, length: Optional[int] = None) -> bytes:
+        """Synchronous :meth:`read`."""
+        return self.run(self.read(pool, oid, offset, length))
+
+    def remove_sync(self, pool: Pool, oid: str) -> None:
+        """Synchronous :meth:`remove`."""
+        self.run(self.remove(pool, oid))
+
+    def submit_sync(self, pool: Pool, oid: str, txn: Transaction) -> None:
+        """Synchronous :meth:`submit`."""
+        self.run(self.submit(pool, oid, txn))

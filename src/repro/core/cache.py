@@ -1,0 +1,164 @@
+"""Cache manager: HitSet-based hotness tracking and LRU chunk cache.
+
+Paper §4.3 and §5: the cache manager decides whether a chunk stays
+cached in the metadata object's data part.  Hotness comes from Ceph's
+HitSet mechanism — a rotating ring of per-interval access sets (bloom
+filters in memory) — and an object whose access count reaches
+``hit_count_threshold`` is *hot*: it is served from the metadata pool
+and the dedup engine leaves it alone until it cools down.
+
+A simple LRU list (paper: "we used a LRU based approach, which is
+simple") bounds the total cached bytes when a capacity is configured.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from ..sim import Simulator
+from ..util import BloomFilter
+from .config import DedupConfig
+
+__all__ = ["HitSet", "CacheManager"]
+
+
+class HitSet:
+    """A rotating ring of per-period bloom filters of accessed objects.
+
+    ``hit_count(oid)`` approximates "in how many of the last N periods
+    was this object accessed" — the paper's per-object access count.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        period: float = 1.0,
+        count: int = 8,
+        capacity: int = 4096,
+        error_rate: float = 0.01,
+    ):
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        self.sim = sim
+        self.period = period
+        self.count = count
+        self.capacity = capacity
+        self.error_rate = error_rate
+        self._ring: List[Tuple[float, BloomFilter]] = []
+
+    def _rotate(self) -> None:
+        now = self.sim.now
+        if not self._ring or now - self._ring[-1][0] >= self.period:
+            self._ring.append((now, BloomFilter(self.capacity, self.error_rate)))
+            if len(self._ring) > self.count:
+                del self._ring[0 : len(self._ring) - self.count]
+
+    def record(self, oid: str) -> None:
+        """Record one access to ``oid`` at the current simulated time."""
+        self._rotate()
+        self._ring[-1][1].add(oid)
+
+    def hit_count(self, oid: str) -> int:
+        """Number of recent periods in which ``oid`` was accessed."""
+        now = self.sim.now
+        horizon = now - self.period * self.count
+        return sum(
+            1 for start, bf in self._ring if start >= horizon and oid in bf
+        )
+
+    def memory_bytes(self) -> int:
+        """In-memory footprint of the bloom filter ring."""
+        return sum(bf.memory_bytes() for _start, bf in self._ring)
+
+
+class CacheManager:
+    """Hotness + LRU policy for cached chunks in the metadata pool."""
+
+    def __init__(self, sim: Simulator, config: DedupConfig):
+        self.sim = sim
+        self.config = config
+        self.hitset = HitSet(
+            sim, period=config.hitset_period, count=config.hitset_count
+        )
+        # (oid, chunk_index) -> cached bytes; insertion order doubles as
+        # the LRU/FIFO queue order.
+        self._cached: "OrderedDict[Tuple[str, int], int]" = OrderedDict()
+        #: (oid, chunk_index) -> access count, for the LFU policy.
+        self._freq: Dict[Tuple[str, int], int] = {}
+        self.cached_bytes = 0
+        #: Counters for tests/metrics.
+        self.promotions = 0
+        self.demotions = 0
+
+    # -- hotness ------------------------------------------------------------
+
+    def record_access(self, oid: str) -> None:
+        """Note a foreground access (read or write) to ``oid``."""
+        self.hitset.record(oid)
+        touched = [k for k in self._cached if k[0] == oid]
+        for k in touched:
+            self._freq[k] = self._freq.get(k, 0) + 1
+            if self.config.cache_policy == "lru":
+                self._cached.move_to_end(k)
+
+    def is_hot(self, oid: str) -> bool:
+        """Paper §5: hot when the access count reaches Hitcount."""
+        return self.hitset.hit_count(oid) >= self.config.hit_count_threshold
+
+    # -- cached-chunk bookkeeping ----------------------------------------------
+
+    def note_cached(self, oid: str, index: int, nbytes: int) -> None:
+        """A chunk's bytes now live in the metadata object (cached)."""
+        key = (oid, index)
+        old = self._cached.pop(key, 0)
+        self.cached_bytes -= old
+        self._cached[key] = nbytes
+        self.cached_bytes += nbytes
+        self._freq[key] = self._freq.get(key, 0) + 1
+        self.promotions += old == 0
+
+    def note_evicted(self, oid: str, index: int) -> None:
+        """A chunk was punched out of its metadata object."""
+        old = self._cached.pop((oid, index), 0)
+        self._freq.pop((oid, index), None)
+        if old:
+            self.cached_bytes -= old
+            self.demotions += 1
+
+    def keep_cached_on_flush(self, oid: str) -> bool:
+        """Whether a just-deduplicated chunk should stay cached."""
+        if not self.config.cache_on_flush:
+            return False
+        return self.is_hot(oid)
+
+    def over_capacity(self) -> bool:
+        """Whether cached bytes exceed the configured capacity."""
+        cap = self.config.cache_capacity_bytes
+        return cap is not None and self.cached_bytes > cap
+
+    def victims(self) -> List[Tuple[str, int]]:
+        """(oid, chunk index) pairs to demote to fit the capacity.
+
+        Order depends on ``cache_policy``: least-recently-used (the
+        paper's choice), least-frequently-used, or insertion order.
+        """
+        cap = self.config.cache_capacity_bytes
+        if cap is None:
+            return []
+        if self.config.cache_policy == "lfu":
+            candidates = sorted(
+                self._cached.items(), key=lambda kv: self._freq.get(kv[0], 0)
+            )
+        else:  # lru and fifo both evict from the front of the queue
+            candidates = list(self._cached.items())
+        out = []
+        excess = self.cached_bytes - cap
+        for key, nbytes in candidates:
+            if excess <= 0:
+                break
+            out.append(key)
+            excess -= nbytes
+        return out

@@ -1,0 +1,136 @@
+"""The public facade: a deduplicated object store.
+
+:class:`DedupedStorage` assembles the whole design — metadata pool +
+chunk pool, write/read paths, the background dedup engine, rate control
+and the cache manager — behind an object read/write API equivalent to
+the underlying cluster's.  Client code addresses objects by their
+ordinary IDs; deduplication is invisible (paper key idea: "no
+modification is required on client side").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..cluster import RadosCluster
+from .config import DedupConfig
+from .engine import DedupEngine
+from .io_path import delete_path, read_path, write_path
+from .tier import DedupTier, SpaceReport
+
+__all__ = ["DedupedStorage"]
+
+
+class DedupedStorage:
+    """A deduplicating object store on top of a :class:`RadosCluster`.
+
+    Parameters
+    ----------
+    cluster:
+        The storage substrate; a default 4-host x 4-OSD cluster (the
+        paper's testbed shape) is built when omitted.
+    config:
+        Dedup tuning; see :class:`~repro.core.DedupConfig`.
+    metadata_redundancy / chunk_redundancy:
+        Redundancy schemes for the two pools (each may independently be
+        ``Replicated(n)`` or ``ErasureCoded(k, m)``, paper §4.2).
+    flush_on_write:
+        When True, every write is immediately followed by a forced dedup
+        pass of the object — the paper's *Proposed-flush* configuration
+        (Figure 10), useful to measure what inline-style processing
+        costs.
+    start_engine:
+        Start the background engine right away.  Tests that want manual
+        control pass False and drive ``engine.process_object`` /
+        ``engine.drain`` themselves.
+    """
+
+    def __init__(
+        self,
+        cluster: Optional[RadosCluster] = None,
+        config: Optional[DedupConfig] = None,
+        metadata_redundancy=None,
+        chunk_redundancy=None,
+        flush_on_write: bool = False,
+        start_engine: bool = True,
+    ):
+        self.cluster = cluster if cluster is not None else RadosCluster()
+        self.tier = DedupTier(
+            self.cluster,
+            config,
+            metadata_redundancy=metadata_redundancy,
+            chunk_redundancy=chunk_redundancy,
+        )
+        self.config = self.tier.config
+        self.engine = DedupEngine(self.tier)
+        self.flush_on_write = flush_on_write
+        # Reads of hot, evicted objects trigger background promotion.
+        self.tier.on_hot_read = lambda oid: self.sim.process(
+            self.engine.promote_object(oid)
+        )
+        if start_engine and not flush_on_write:
+            self.engine.start()
+
+    @property
+    def sim(self):
+        """The simulation clock everything runs on."""
+        return self.cluster.sim
+
+    # -- async API (simulation processes) ------------------------------------
+
+    def write(self, oid: str, data: bytes, offset: int = 0, client=None):
+        """Process: write ``data`` at ``offset`` of ``oid``."""
+        yield from write_path(self.tier, oid, offset, data, client)
+        if self.flush_on_write:
+            yield from self.engine.process_object(oid, force=True)
+
+    def read(self, oid: str, offset: int = 0, length: Optional[int] = None, client=None):
+        """Process: read from ``oid``; returns bytes."""
+        data = yield from read_path(self.tier, oid, offset, length, client)
+        return data
+
+    def delete(self, oid: str, client=None):
+        """Process: delete ``oid`` and dereference its chunks."""
+        yield from delete_path(self.tier, oid, client)
+
+    def flush(self, oid: str):
+        """Process: force deduplication of one object now."""
+        yield from self.engine.process_object(oid, force=True)
+
+    # -- sync helpers (drive the event loop) ------------------------------------
+
+    def write_sync(self, oid: str, data: bytes, offset: int = 0) -> None:
+        """Synchronous :meth:`write`."""
+        self.cluster.run(self.write(oid, data, offset))
+
+    def read_sync(self, oid: str, offset: int = 0, length: Optional[int] = None) -> bytes:
+        """Synchronous :meth:`read`."""
+        return self.cluster.run(self.read(oid, offset, length))
+
+    def delete_sync(self, oid: str) -> None:
+        """Synchronous :meth:`delete`."""
+        self.cluster.run(self.delete(oid))
+
+    def flush_sync(self, oid: str) -> None:
+        """Synchronous :meth:`flush`."""
+        self.cluster.run(self.flush(oid))
+
+    def drain(self) -> None:
+        """Deduplicate everything pending (ignores hotness), then GC."""
+        self.engine.drain_sync()
+
+    # -- introspection ------------------------------------------------------------
+
+    def space_report(self) -> SpaceReport:
+        """Current space accounting (see :class:`SpaceReport`)."""
+        return self.tier.space_report()
+
+    def status(self):
+        """Operational snapshot (engine, backlog, cache, load, space)."""
+        from .status import collect_status
+
+        return collect_status(self)
+
+    def client(self, name: str):
+        """A new client host for concurrent-workload experiments."""
+        return self.cluster.client(name)

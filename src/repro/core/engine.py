@@ -1,0 +1,357 @@
+"""The post-processing deduplication engine (paper §4.4.1).
+
+A background process drains the dirty object ID list:
+
+1. pop a dirty metadata object;
+2. find its dirty chunks from the chunk map (they are cached in the
+   object's data part);
+3. if the cache manager deems the object cold, fingerprint each dirty
+   chunk; dereference the previously referenced chunk object if the
+   content moved; store-or-reference the chunk in the chunk pool
+   (double hashing places it by content);
+4-5. the chunk pool either stores the object with its first reference
+   or just appends reference information;
+6. finally update the metadata object's chunk map (dirty cleared,
+   cached per cache policy) in a single transaction.
+
+Rate control (§4.4.2) paces step 3's I/O against foreground load, and
+hot objects are skipped entirely (selective dedup) until they cool off.
+
+Foreground writes racing with a dedup pass are detected with a per-object
+mutation counter: if the object changed while its chunks were being
+flushed, the pass aborts before touching the chunk map (undoing the
+references it took) and the object is re-queued — the dirty bits, which
+are part of the same transactions as the data they describe, remain the
+source of truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..cluster import Transaction
+from ..fingerprint import fingerprint
+from .objects import CHUNK_MAP_XATTR, ChunkRef
+from .refcount import make_refcounter
+from .tier import DedupTier, NodeClient
+
+__all__ = ["DedupEngine", "EngineStats"]
+
+
+@dataclass
+class EngineStats:
+    """Counters describing what the engine has done."""
+
+    objects_processed: int = 0
+    objects_skipped_hot: int = 0
+    objects_aborted_race: int = 0
+    chunks_flushed: int = 0
+    chunks_deduped: int = 0
+    bytes_flushed: int = 0
+    bytes_deduped: int = 0
+    chunks_evicted: int = 0
+    chunks_promoted: int = 0
+
+
+class DedupEngine:
+    """Background post-processing deduplication."""
+
+    def __init__(self, tier: DedupTier):
+        self.tier = tier
+        self.config = tier.config
+        self.sim = tier.sim
+        self.stats = EngineStats()
+        self.refcount = make_refcounter(tier)
+        self._running = False
+        self._procs = []
+        self._promoting = set()
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        """Whether any background worker is active."""
+        return self._running and any(p.is_alive for p in self._procs)
+
+    def start(self, workers: Optional[int] = None) -> None:
+        """Launch the background worker loops (idempotent).
+
+        ``workers`` defaults to ``config.engine_workers`` — the paper's
+        design runs multiple background deduplication threads.
+        """
+        if self.running:
+            return
+        self._running = True
+        count = workers if workers is not None else self.config.engine_workers
+        self._procs = [self.sim.process(self._loop()) for _ in range(count)]
+
+    def stop(self) -> None:
+        """Ask the background workers to exit at their next wakeup."""
+        self._running = False
+
+    def _loop(self):
+        while self._running:
+            oid = self.tier.next_dirty()
+            if oid is None:
+                yield self.sim.timeout(self.config.dedup_interval)
+                continue
+            yield from self.process_object(oid)
+
+    # -- one object -------------------------------------------------------------
+
+    def process_object(self, oid: str, force: bool = False):
+        """Process: deduplicate all dirty chunks of one object.
+
+        ``force`` bypasses the hot-object skip *and* rate control — it is
+        used by drains and by flush-on-write, where the caller is already
+        foreground.  Returns one of ``"done"``, ``"skipped_hot"``,
+        ``"raced"``, ``"missing"``.
+        """
+        tier = self.tier
+        if not force and self.config.selective_dedup and tier.cache.is_hot(oid):
+            self.stats.objects_skipped_hot += 1
+            tier.requeue_dirty(oid, delay=self.config.hot_requeue_delay)
+            return "skipped_hot"
+        if not force:
+            # Rate-control *before* taking the object lock: a paced
+            # background pass must never stall foreground writers that
+            # need the same lock (§4.4.2 — dedup yields to foreground).
+            cmap_peek = tier.peek_chunk_map(oid)
+            pending = len(cmap_peek.dirty_indices()) if cmap_peek else 0
+            for _ in range(max(1, pending)):
+                yield from tier.rate.throttle()
+        lock = tier.object_lock(oid)
+        yield lock.acquire()
+        try:
+            result = yield from self._process_object_locked(oid, force)
+        finally:
+            lock.release()
+        # Outside the lock: a capacity victim may be this same object.
+        yield from self.enforce_cache_capacity()
+        return result
+
+    def _process_object_locked(self, oid: str, force: bool):
+        tier = self.tier
+        seq_at_start = tier.seq(oid)
+        cmap = yield from tier.load_chunk_map(oid)
+        if cmap is None:
+            return "missing"
+        primary = tier.cluster._primary(tier.metadata_pool, oid)
+        via = NodeClient(primary.node)
+        key = tier.metadata_key(oid)
+        txn = Transaction()
+        taken = []  # (chunk_id, ref) references acquired this pass
+        pending_derefs = []  # old chunks to release once the map commits
+        changed = False
+        for idx in cmap.dirty_indices():
+            entry = cmap.get(idx)
+            if not entry.cached:
+                # Dirty implies cached by construction; tolerate anyway.
+                entry.dirty = False
+                changed = True
+                continue
+            if entry.fully_cached():
+                data = yield from tier.read_local_chunk(
+                    oid, entry.offset, entry.length
+                )
+            else:
+                # Deferred read-modify-write: merge the cached pieces
+                # with the old chunk object's bytes.  This is the
+                # "reading data for flush" background cost the paper
+                # lists for the Proposed system — paid here, not on the
+                # foreground write path.
+                buf = bytearray(entry.length)
+                for seg_start, seg_end in entry.valid:
+                    part = yield from tier.read_local_chunk(
+                        oid, entry.offset + seg_start, seg_end - seg_start
+                    )
+                    buf[seg_start : seg_start + len(part)] = part
+                if entry.chunk_id:
+                    for seg_start, seg_end in entry.missing_ranges():
+                        part = yield from tier.read_chunk(
+                            entry.chunk_id, seg_start, seg_end - seg_start, via
+                        )
+                        buf[seg_start : seg_start + len(part)] = part
+                data = bytes(buf)
+            yield from primary.node.cpu.fingerprint(len(data))
+            fp = fingerprint(data, self.config.fingerprint_algorithm)
+            ref = ChunkRef(tier.metadata_pool.pool_id, oid, entry.offset)
+            if entry.chunk_id and entry.chunk_id != fp:
+                # §4.4.1 step 3: the entry stops referencing its old
+                # chunk object.  The actual dereference is deferred
+                # until the chunk-map update commits: a partially-cached
+                # entry still *needs* the old chunk for its missing
+                # ranges if this pass aborts on a foreground race.
+                pending_derefs.append((entry.chunk_id, ref))
+            if entry.chunk_id != fp:
+                stored = yield from tier.chunk_ref(fp, ref, data, via)
+                taken.append((fp, ref))
+                if stored:
+                    self.stats.chunks_flushed += 1
+                    self.stats.bytes_flushed += len(data)
+                else:
+                    self.stats.chunks_deduped += 1
+                    self.stats.bytes_deduped += len(data)
+            entry.chunk_id = fp
+            entry.dirty = False
+            if tier.cache.keep_cached_on_flush(oid):
+                if not entry.fully_cached():
+                    # Materialise the merged chunk in the cache.
+                    txn.write(key, entry.offset, data)
+                    entry.set_fully_valid()
+                    tier.cache.note_cached(oid, idx, entry.length)
+            else:
+                txn.zero(key, entry.offset, entry.length)
+                entry.clear_valid()
+                tier.cache.note_evicted(oid, idx)
+                self.stats.chunks_evicted += 1
+            changed = True
+        if changed and cmap.cached_indices() == []:
+            # Paper Figure 8, "object 2": when no chunk remains cached,
+            # the metadata object holds no data at all — only metadata.
+            txn.truncate(key, 0)
+        if tier.seq(oid) != seq_at_start:
+            # A foreground write landed mid-pass: our map view is stale.
+            # Undo the references we took and retry later; dirty bits in
+            # the (authoritative) stored map still cover the new data.
+            for fp, ref in taken:
+                yield from tier.chunk_deref(fp, ref, via)
+            self.stats.objects_aborted_race += 1
+            tier.mark_dirty(oid)
+            return "raced"
+        if changed:
+            txn.setxattr(key, CHUNK_MAP_XATTR, cmap.serialize())
+            yield from tier.cluster.submit(tier.metadata_pool, oid, txn, via)
+        for old_id, ref in pending_derefs:
+            yield from self.refcount.deref(old_id, ref, via)
+        self.stats.objects_processed += 1
+        return "done"
+
+    # -- cache maintenance -----------------------------------------------------------
+
+    def promote_object(self, oid: str):
+        """Process: pull a hot object's chunks back into the cache.
+
+        Paper §5: "If an access count for an object is higher than
+        pre-defined parameter Hitcount, then the object is cached into
+        the metadata pool."  Promotion copies each clean, non-cached
+        chunk from the chunk pool into the metadata object's data part;
+        the chunk object (and its reference) stays — the cache is a
+        duplicate, paid for to serve reads at original-system cost.
+        """
+        tier = self.tier
+        if oid in self._promoting:
+            return "in_progress"
+        self._promoting.add(oid)
+        try:
+            lock = tier.object_lock(oid)
+            yield lock.acquire()
+            try:
+                seq_at_start = tier.seq(oid)
+                cmap = yield from tier.load_chunk_map(oid)
+                if cmap is None:
+                    return "missing"
+                primary = tier.cluster._primary(tier.metadata_pool, oid)
+                via = NodeClient(primary.node)
+                key = tier.metadata_key(oid)
+                txn = Transaction()
+                promoted = 0
+                for entry in cmap:
+                    if entry.dirty or entry.fully_cached() or not entry.chunk_id:
+                        continue
+                    data = yield from tier.read_chunk(
+                        entry.chunk_id, 0, entry.length, via
+                    )
+                    txn.write(key, entry.offset, data)
+                    entry.set_fully_valid()
+                    tier.cache.note_cached(
+                        oid, entry.offset // tier.config.chunk_size, entry.length
+                    )
+                    promoted += 1
+                if promoted == 0:
+                    return "nothing"
+                if tier.seq(oid) != seq_at_start:
+                    return "raced"
+                txn.setxattr(key, CHUNK_MAP_XATTR, cmap.serialize())
+                yield from tier.cluster.submit(tier.metadata_pool, oid, txn, via)
+                self.stats.chunks_promoted += promoted
+            finally:
+                lock.release()
+        finally:
+            self._promoting.discard(oid)
+        yield from self.enforce_cache_capacity()
+        return "done"
+
+    def enforce_cache_capacity(self):
+        """Process: demote LRU cached chunks until within capacity."""
+        for v_oid, v_idx in self.tier.cache.victims():
+            yield from self.demote_chunk(v_oid, v_idx)
+
+    def demote_chunk(self, oid: str, index: int):
+        """Process: punch one clean cached chunk out of its object."""
+        tier = self.tier
+        lock = tier.object_lock(oid)
+        yield lock.acquire()
+        try:
+            yield from self._demote_chunk_locked(oid, index)
+        finally:
+            lock.release()
+
+    def _demote_chunk_locked(self, oid: str, index: int):
+        tier = self.tier
+        cmap = yield from tier.load_chunk_map(oid)
+        entry = cmap.get(index) if cmap is not None else None
+        if entry is None or not entry.cached:
+            tier.cache.note_evicted(oid, index)
+            return
+        if entry.dirty:
+            # Must be flushed first; leave it for the dirty-list pass.
+            return
+        primary = tier.cluster._primary(tier.metadata_pool, oid)
+        via = NodeClient(primary.node)
+        key = tier.metadata_key(oid)
+        entry.clear_valid()
+        txn = (
+            Transaction()
+            .zero(key, entry.offset, entry.length)
+            .setxattr(key, CHUNK_MAP_XATTR, cmap.serialize())
+        )
+        if cmap.cached_indices() == []:
+            txn.truncate(key, 0)  # fully evicted: metadata only
+        yield from tier.cluster.submit(tier.metadata_pool, oid, txn, via)
+        tier.cache.note_evicted(oid, index)
+        self.stats.chunks_evicted += 1
+
+    # -- draining (tests & benches) -----------------------------------------------------
+
+    def drain(self, run_gc: bool = True):
+        """Process: dedup everything on the dirty list, ignoring hotness.
+
+        Optionally runs the refcount GC afterwards.  Used by benchmarks
+        to reach the fully deduplicated steady state before measuring
+        space.
+        """
+        guard = 0
+        while True:
+            oid = self.tier.next_dirty()
+            if oid is None:
+                # Hot-skipped objects are requeued with a delay, which a
+                # drain must not wait for: rebuild the list from the
+                # authoritative dirty bits instead.
+                if self.tier.rebuild_dirty_list() == 0:
+                    break
+                continue
+            result = yield from self.process_object(oid, force=True)
+            guard += 1
+            if guard > 1_000_000:
+                raise RuntimeError("drain did not converge")
+            if result == "raced":
+                continue
+        if run_gc:
+            node = next(iter(self.tier.cluster.nodes.values()))
+            yield from self.refcount.gc(NodeClient(node))
+
+    def drain_sync(self, run_gc: bool = True) -> None:
+        """Synchronous :meth:`drain`."""
+        self.tier.cluster.run(self.drain(run_gc=run_gc))

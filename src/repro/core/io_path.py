@@ -1,0 +1,319 @@
+"""Foreground I/O paths (paper §4.5).
+
+**Write path** — indistinguishable from the underlying storage system in
+the common case, because dedup is post-processed: the data lands in the
+metadata object's data part (as cached chunks), chunk-map entries are
+created/updated with ``cached = dirty = True`` (the chunk ID stays unset
+— fingerprinting would add latency), and the object is logged in the
+dirty list.  The one exception: a write that partially covers a chunk
+whose bytes are *not* cached must pre-read the missing part from the
+chunk object.
+
+**Read path** — the chunk map routes each requested range either to the
+metadata object's data part (cached chunk: same cost as the original
+system) or to the chunk pool (redirection: metadata pool -> chunk pool
+-> client, the overhead visible in Figures 10/11).  Chunks are fetched
+in parallel, which is why large sequential reads recover the lost
+throughput (Figure 11's 128 KiB case).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..cluster import NoSuchObject, Transaction
+from .objects import CHUNK_MAP_XATTR, ChunkMap, ChunkMapEntry
+from .tier import DedupTier
+
+__all__ = ["write_path", "read_path", "delete_path"]
+
+
+def _split_by_valid(start: int, end: int, valid):
+    """Split chunk-relative ``[start, end)`` by the valid-range set.
+
+    Yields ``(piece_start, piece_end, in_cache)`` in offset order.
+    """
+    pos = start
+    for v_start, v_end in valid:
+        if v_end <= pos or v_start >= end:
+            continue
+        if v_start > pos:
+            yield (pos, min(v_start, end), False)
+            pos = min(v_start, end)
+        if pos >= end:
+            return
+        covered_end = min(v_end, end)
+        if covered_end > pos:
+            yield (pos, covered_end, True)
+            pos = covered_end
+        if pos >= end:
+            return
+    if pos < end:
+        yield (pos, end, False)
+
+
+def _read_cached_piece(tier, oid, offset, length, client):
+    """Process: read cached bytes at the metadata primary and return
+    them to the client (original-system read cost).
+
+    On an erasure-coded metadata pool the payload is sharded, so the
+    read goes through the EC decode path instead.
+    """
+    cluster = tier.cluster
+    client = client or cluster._default_client
+    if tier.metadata_pool.is_ec:
+        data = yield from cluster.read(
+            tier.metadata_pool, oid, offset, length, client
+        )
+        return data
+    primary = cluster._primary(tier.metadata_pool, oid)
+    key = tier.metadata_key(oid)
+    data = yield from primary.execute_read(key, offset, length)
+    yield from cluster._transfer(primary.node.nic, client.nic, len(data))
+    return data
+
+
+def _read_chunk_piece(tier, chunk_id, offset, length, client):
+    """Process: redirected read — metadata pool forwards to the chunk
+    pool; chunk primary reads (and decompresses, when the tier stores
+    chunks compressed) and returns the data to the client."""
+    cluster = tier.cluster
+    client = client or cluster._default_client
+    # Forwarding hop: metadata primary -> chunk primary.
+    yield tier.sim.timeout(cluster.profile.nic.latency)
+    data = yield from tier.read_chunk(chunk_id, offset, length, client)
+    return data
+
+
+def write_path(tier: DedupTier, oid: str, offset: int, data: bytes, client=None):
+    """Process: write ``data`` at ``offset`` of object ``oid``.
+
+    Steps (paper §4.5 write path):
+
+    1. the client issues the request to the metadata pool;
+    2. placement hashes the (unchanged, user-visible) object ID; a
+       partial overwrite of a non-cached chunk pre-reads the missing
+       bytes from the chunk pool;
+    3. data is written to the object's data part and chunk-map entries
+       are created/updated — cached and dirty set, chunk ID left as-is;
+    4. the object ID is logged in the dirty list.
+
+    The map update and the data write are one transaction, so a crash
+    either persists both or neither (§4.6).
+    """
+    if offset < 0:
+        raise ValueError(f"negative offset {offset}")
+    if not data:
+        return
+    # Mutations of one object are serialised (as RADOS serialises ops per
+    # object at its PG): the chunk-map read-modify-write below must not
+    # interleave with a dedup pass committing a new map.
+    lock = tier.object_lock(oid)
+    yield lock.acquire()
+    try:
+        yield from _write_locked(tier, oid, offset, data, client)
+    finally:
+        lock.release()
+
+
+def _write_locked(tier: DedupTier, oid: str, offset: int, data: bytes, client):
+    cluster = tier.cluster
+    pool = tier.metadata_pool
+    cs = tier.config.chunk_size
+    cmap = yield from tier.load_chunk_map(oid)
+    if cmap is None:
+        cmap = ChunkMap(cs)
+    key = tier.metadata_key(oid)
+    txn = Transaction()
+    end = offset + len(data)
+    for idx in tier.chunker.aligned_range(offset, len(data)):
+        cstart = idx * cs
+        wstart, wend = max(offset, cstart), min(end, cstart + cs)
+        rel_start, rel_end = wstart - cstart, wend - cstart
+        entry = cmap.get(idx)
+        if entry is None:
+            entry = ChunkMapEntry(
+                offset=cstart, length=rel_end, cached=True, dirty=True
+            )
+        else:
+            entry.length = max(entry.length, rel_end)
+            entry.dirty = True
+            if not entry.chunk_id:
+                # Never flushed: the whole (zero-extended) chunk lives in
+                # the data part.
+                entry.set_fully_valid()
+            elif rel_start == 0 and rel_end >= entry.length:
+                entry.set_fully_valid()
+            elif not entry.add_valid(rel_start, rel_end):
+                # Too fragmented to track: coalesce with a foreground
+                # pre-read from the chunk object (the paper's pre-read
+                # corner case; common sub-chunk writes never hit it —
+                # the read-modify-write is deferred to the engine).
+                chunk_bytes = yield from tier.read_chunk(
+                    entry.chunk_id, 0, entry.length, client
+                )
+                chunk_bytes = chunk_bytes + b"\x00" * (
+                    entry.length - len(chunk_bytes)
+                )
+                # Fill only the ranges the cache does not hold — the
+                # cached ranges carry newer data.
+                for seg_start, seg_end in entry.missing_ranges():
+                    txn.write(
+                        key, cstart + seg_start, chunk_bytes[seg_start:seg_end]
+                    )
+                entry.set_fully_valid()
+        cmap.set(entry)
+        tier.cache.note_cached(
+            oid, idx, sum(e - s for s, e in entry.valid)
+        )
+    txn.write(key, offset, data)
+    txn.setxattr(key, CHUNK_MAP_XATTR, cmap.serialize())
+    yield from cluster.submit(pool, oid, txn, client)
+    tier.bump_seq(oid)
+    tier.mark_dirty(oid)
+    tier.fg_window.note(len(data))
+    tier.cache.record_access(oid)
+
+
+def delete_path(tier: DedupTier, oid: str, client=None):
+    """Process: delete object ``oid`` and release its chunks.
+
+    The metadata object is removed first (the user-visible delete), then
+    every chunk the map referenced is dereferenced — chunk objects whose
+    last reference this was disappear with it.  A crash in between
+    leaves only over-retained chunks (never dangling pointers), which
+    the offline GC reclaims — the same §4.6 safety direction as flush.
+    """
+    lock = tier.object_lock(oid)
+    yield lock.acquire()
+    try:
+        cmap = yield from tier.load_chunk_map(oid)
+        if cmap is None:
+            raise NoSuchObject(oid)
+        key = tier.metadata_key(oid)
+        cluster = tier.cluster
+        yield from cluster.submit(
+            tier.metadata_pool, oid, Transaction().remove(key), client
+        )
+        tier.bump_seq(oid)
+        via = client
+        for entry in cmap:
+            if entry.chunk_id:
+                yield from tier.chunk_deref(entry.chunk_id, entry_ref(tier, oid, entry), via)
+            idx = entry.offset // tier.config.chunk_size
+            tier.cache.note_evicted(oid, idx)
+        tier.fg_window.note(0)
+    finally:
+        lock.release()
+
+
+def entry_ref(tier: DedupTier, oid: str, entry):
+    """The reference record a chunk-map entry implies."""
+    from .objects import ChunkRef
+
+    return ChunkRef(tier.metadata_pool.pool_id, oid, entry.offset)
+
+
+def read_path(
+    tier: DedupTier,
+    oid: str,
+    offset: int = 0,
+    length: Optional[int] = None,
+    client=None,
+):
+    """Process: read ``length`` bytes at ``offset``; returns bytes.
+
+    Cached chunks are served from the metadata object (original-system
+    cost); non-cached chunks are fetched from the chunk pool in parallel
+    (redirection cost).
+    """
+    if offset < 0:
+        raise ValueError(f"negative offset {offset}")
+    # A concurrent dedup pass can re-point a chunk between our map read
+    # and the chunk-object read (the old chunk object disappears once
+    # dereferenced).  Retrying from a fresh map resolves it.
+    for attempt in range(3):
+        try:
+            data = yield from _read_once(tier, oid, offset, length, client)
+            return data
+        except NoSuchObject:
+            if attempt == 2:
+                raise
+            continue
+
+
+def _read_once(tier, oid, offset, length, client):
+    cmap = yield from tier.load_chunk_map(oid)
+    if cmap is None:
+        raise NoSuchObject(oid)
+    # The client's request reaches the metadata pool first (one RPC).
+    yield tier.sim.timeout(tier.cluster.profile.nic.latency)
+    size = cmap.logical_size()
+    end = size if length is None else min(offset + length, size)
+    if end <= offset:
+        tier.cache.record_access(oid)
+        return b""
+    cs = tier.config.chunk_size
+    jobs: List[Tuple[int, int, object]] = []  # (segment start, length, process)
+    for idx in tier.chunker.aligned_range(offset, end - offset):
+        cstart = idx * cs
+        entry = cmap.get(idx)
+        if entry is None:
+            continue  # hole: zero-filled below
+        sstart = max(offset, cstart)
+        send = min(end, entry.end)
+        if send <= sstart:
+            continue
+        # Split the requested range into cache-valid pieces (served from
+        # the metadata object) and missing pieces (served by the chunk
+        # object, or zeros when the chunk was never flushed there).
+        for piece_start, piece_end, in_cache in _split_by_valid(
+            sstart - cstart, send - cstart, entry.valid
+        ):
+            if in_cache:
+                # Served by the metadata primary directly — the same
+                # cost as the original system's read.
+                tier.cache_hits += 1
+                gen = _read_cached_piece(
+                    tier, oid, cstart + piece_start, piece_end - piece_start, client
+                )
+            elif entry.chunk_id:
+                tier.cache_misses += 1
+                # Redirection (paper §6.2.1): the metadata pool forwards
+                # the request to the chunk pool, which returns the data
+                # to the client — one extra network hop per chunk.
+                gen = _read_chunk_piece(
+                    tier, entry.chunk_id, piece_start, piece_end - piece_start, client
+                )
+            else:
+                continue  # sparse zeros within the chunk
+            jobs.append(
+                (
+                    cstart + piece_start,
+                    piece_end - piece_start,
+                    tier.sim.process(gen),
+                )
+            )
+    buf = bytearray(end - offset)
+    results = yield tier.sim.all_of([proc for _s, _l, proc in jobs])
+    for (sstart, seg_len, _proc), segment in zip(jobs, results):
+        if len(segment) != seg_len:
+            segment = segment[:seg_len] + b"\x00" * (seg_len - len(segment))
+        buf[sstart - offset : sstart - offset + seg_len] = segment
+    tier.fg_window.note(end - offset)
+    tier.cache.record_access(oid)
+    # Hot object served from the chunk pool: promote it back into the
+    # metadata-pool cache (asynchronously — the read is already done).
+    # ``cache_on_flush`` is the master switch for hot caching: off means
+    # the metadata pool never holds clean data, so no promotion either.
+    if (
+        tier.on_hot_read is not None
+        and tier.config.cache_on_flush
+        and tier.cache.is_hot(oid)
+    ):
+        if any(
+            entry.chunk_id and not entry.dirty and not entry.fully_cached()
+            for entry in cmap
+        ):
+            tier.on_hot_read(oid)
+    return bytes(buf)

@@ -1,0 +1,83 @@
+"""Operational status snapshot for a deduplicated store.
+
+One call gathers what an operator dashboard would poll: engine
+progress, dirty backlog, cache occupancy, rate-controller state,
+per-pool raw usage, and the space-saving summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from .engine import EngineStats
+from .tier import SpaceReport
+
+__all__ = ["DedupStatus", "collect_status"]
+
+
+@dataclass
+class DedupStatus:
+    """A point-in-time snapshot of the dedup tier's health."""
+
+    sim_time: float
+    engine_running: bool
+    engine: EngineStats = field(default_factory=EngineStats)
+    dirty_objects: int = 0
+    refcount_mode: str = "strict"
+    pending_derefs: int = 0
+    cached_bytes: int = 0
+    cache_promotions: int = 0
+    cache_demotions: int = 0
+    foreground_iops: float = 0.0
+    foreground_throughput: float = 0.0
+    rate_ratio: int = 0
+    pool_raw_bytes: Dict[str, int] = field(default_factory=dict)
+    space: SpaceReport = field(default_factory=SpaceReport)
+
+    def summary_lines(self):
+        """Human-readable one-screen summary."""
+        space = self.space
+        return [
+            f"sim time           {self.sim_time:.3f}s",
+            f"engine             {'running' if self.engine_running else 'stopped'}"
+            f" ({self.engine.objects_processed} objects processed,"
+            f" {self.engine.objects_skipped_hot} hot-skips)",
+            f"dirty backlog      {self.dirty_objects} objects",
+            f"refcount           {self.refcount_mode}"
+            f" ({self.pending_derefs} derefs pending GC)",
+            f"cache              {self.cached_bytes} bytes cached"
+            f" (+{self.cache_promotions}/-{self.cache_demotions})",
+            f"foreground load    {self.foreground_iops:.0f} IOPS,"
+            f" {self.foreground_throughput / 1e6:.1f} MB/s"
+            f" (dedup ratio limit 1/{self.rate_ratio or 'unlimited'})",
+            f"logical data       {space.logical_bytes} bytes",
+            f"stored (data+meta) {space.stored_bytes} bytes"
+            f" -> dedup ratio {100 * space.actual_dedup_ratio:.1f}%",
+        ]
+
+
+def collect_status(storage) -> DedupStatus:
+    """Snapshot ``storage`` (a :class:`~repro.core.DedupedStorage`)."""
+    tier = storage.tier
+    return DedupStatus(
+        sim_time=storage.sim.now,
+        engine_running=storage.engine.running,
+        engine=storage.engine.stats,
+        dirty_objects=tier.dirty_count,
+        refcount_mode=storage.engine.refcount.name,
+        pending_derefs=storage.engine.refcount.pending,
+        cached_bytes=tier.cache.cached_bytes,
+        cache_promotions=tier.cache.promotions,
+        cache_demotions=tier.cache.demotions,
+        foreground_iops=tier.fg_window.iops(),
+        foreground_throughput=tier.fg_window.throughput(),
+        rate_ratio=tier.rate.current_ratio(),
+        pool_raw_bytes={
+            tier.metadata_pool.name: storage.cluster.pool_used_bytes(
+                tier.metadata_pool
+            ),
+            tier.chunk_pool.name: storage.cluster.pool_used_bytes(tier.chunk_pool),
+        },
+        space=tier.space_report(),
+    )

@@ -1,0 +1,451 @@
+"""The deduplication tier: pools, chunk-map I/O, and chunk-pool ops.
+
+This wires the paper's §4 design onto the storage substrate:
+
+* a **metadata pool** holding metadata objects (user-visible IDs, chunk
+  maps in xattrs, cached chunks in the data part) and
+* a **chunk pool** holding content-addressed chunk objects (double
+  hashing: the chunk's fingerprint is its object ID, so the cluster's
+  placement hash *is* the fingerprint index).
+
+Pool-based object management (§4.2): each pool picks its own redundancy
+scheme, so e.g. a replicated metadata pool can front an erasure-coded
+chunk pool.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Optional, Set
+
+from ..chunking import StaticChunker
+from ..compression import ZlibCodec
+from ..cluster import (
+    NoSuchObject,
+    ObjectKey,
+    PER_OBJECT_OVERHEAD,
+    Pool,
+    RadosCluster,
+    Replicated,
+    Transaction,
+)
+from ..sim import Resource
+from .config import DedupConfig
+from .cache import CacheManager
+from .objects import CHUNK_MAP_XATTR, REFS_XATTR, ChunkMap, ChunkRef, RefSet
+from .rate_control import OpWindow, RateController
+
+__all__ = ["DedupTier", "SpaceReport", "NodeClient", "CHUNK_ENCODING_XATTR"]
+
+#: xattr on chunk objects recording the payload encoding ("raw"/"zlib").
+CHUNK_ENCODING_XATTR = "dedup.encoding"
+
+
+class NodeClient:
+    """Adapter letting a storage node act as the I/O initiator.
+
+    The background dedup engine runs on storage nodes, not on clients;
+    its chunk-pool traffic originates from the metadata-pool primary's
+    NIC.
+    """
+
+    def __init__(self, node):
+        self.node = node
+        self.nic = node.nic
+
+
+@dataclass
+class SpaceReport:
+    """Space accounting for the dedup tier (drives Table 2 / Fig 12-e).
+
+    ``ideal_dedup_ratio`` considers data only; ``actual_dedup_ratio``
+    charges the dedup metadata too (chunk maps at 150 B/entry, reference
+    records at 64 B, and the fixed per-object overhead) — the paper's
+    distinction in Table 2.
+    """
+
+    logical_bytes: int = 0
+    chunk_data_bytes: int = 0
+    cached_data_bytes: int = 0
+    metadata_bytes: int = 0
+    raw_used_bytes: int = 0
+    chunk_objects: int = 0
+    metadata_objects: int = 0
+
+    @property
+    def stored_bytes(self) -> int:
+        """Data + metadata, each object counted once (no redundancy)."""
+        return self.chunk_data_bytes + self.cached_data_bytes + self.metadata_bytes
+
+    @property
+    def ideal_dedup_ratio(self) -> float:
+        """1 - unique data / logical data (valid after a full drain)."""
+        if self.logical_bytes == 0:
+            return 0.0
+        return 1.0 - self.chunk_data_bytes / self.logical_bytes
+
+    @property
+    def actual_dedup_ratio(self) -> float:
+        """1 - (stored data + metadata) / logical data."""
+        if self.logical_bytes == 0:
+            return 0.0
+        return 1.0 - self.stored_bytes / self.logical_bytes
+
+
+class DedupTier:
+    """State and helper operations shared by the I/O paths and engine."""
+
+    def __init__(
+        self,
+        cluster: RadosCluster,
+        config: Optional[DedupConfig] = None,
+        metadata_redundancy=None,
+        chunk_redundancy=None,
+        metadata_pool_name: str = "dedup-metadata",
+        chunk_pool_name: str = "dedup-chunks",
+    ):
+        self.cluster = cluster
+        self.config = config if config is not None else DedupConfig()
+        self.metadata_pool: Pool = cluster.create_pool(
+            metadata_pool_name,
+            metadata_redundancy if metadata_redundancy is not None else Replicated(2),
+        )
+        self.chunk_pool: Pool = cluster.create_pool(
+            chunk_pool_name,
+            chunk_redundancy if chunk_redundancy is not None else Replicated(2),
+        )
+        self.chunker = StaticChunker(self.config.chunk_size)
+        self.codec = ZlibCodec(self.config.compress_level)
+        self.cache = CacheManager(cluster.sim, self.config)
+        self.fg_window = OpWindow(cluster.sim)
+        self.rate = RateController(cluster.sim, self.fg_window, self.config)
+        # Dirty object ID list (paper Figure 8). In-memory, rebuildable
+        # from the dirty bits persisted in every chunk map.
+        self._dirty_queue: Deque[str] = deque()
+        self._dirty_set: Set[str] = set()
+        # Monotonic per-object mutation counters: the engine uses them to
+        # detect foreground writes racing with a dedup pass.
+        self.mutation_seq: Dict[str, int] = {}
+        # Per-chunk-object locks serialising reference read-modify-write.
+        self._chunk_locks: Dict[str, Resource] = {}
+        # Per-metadata-object locks serialising dedup passes (two engine
+        # workers, or flush-on-write racing the engine, must not process
+        # the same object concurrently).
+        self._object_locks: Dict[str, Resource] = {}
+        #: Read-path counters: segments served from the metadata-pool
+        #: cache vs redirected to the chunk pool.
+        self.cache_hits = 0
+        self.cache_misses = 0
+        #: Hook invoked (with the oid) when a read finds a hot object
+        #: whose chunks are not cached; the facade wires it to the
+        #: engine's promotion path (§5: hot objects are cached into the
+        #: metadata pool).
+        self.on_hot_read = None
+
+    @property
+    def sim(self):
+        """The cluster's simulator."""
+        return self.cluster.sim
+
+    # -- dirty object ID list -------------------------------------------------
+
+    def mark_dirty(self, oid: str) -> None:
+        """Log ``oid`` for background deduplication."""
+        if oid not in self._dirty_set:
+            self._dirty_set.add(oid)
+            self._dirty_queue.append(oid)
+
+    def next_dirty(self) -> Optional[str]:
+        """Pop the next dirty object ID, or ``None`` when list is empty."""
+        if not self._dirty_queue:
+            return None
+        oid = self._dirty_queue.popleft()
+        self._dirty_set.discard(oid)
+        return oid
+
+    def requeue_dirty(self, oid: str, delay: float = 0.0) -> None:
+        """Put ``oid`` back on the dirty list, optionally after a delay."""
+        if delay > 0:
+            self.sim.call_later(delay, self.mark_dirty, oid)
+        else:
+            self.mark_dirty(oid)
+
+    @property
+    def dirty_count(self) -> int:
+        """Objects currently on the dirty list."""
+        return len(self._dirty_queue)
+
+    def rebuild_dirty_list(self) -> int:
+        """Recover the dirty list by scanning persisted chunk maps.
+
+        The list itself is volatile; the authoritative dirty state is
+        the per-entry dirty bit inside every (replicated) chunk map, so
+        a restart can always reconstruct it.  Returns the number of
+        dirty objects found.
+        """
+        self._dirty_queue.clear()
+        self._dirty_set.clear()
+        for oid in self.cluster.list_objects(self.metadata_pool):
+            cmap = self.peek_chunk_map(oid)
+            if cmap is not None and not cmap.all_clean():
+                self.mark_dirty(oid)
+        return self.dirty_count
+
+    def bump_seq(self, oid: str) -> int:
+        """Advance and return the mutation counter for ``oid``."""
+        seq = self.mutation_seq.get(oid, 0) + 1
+        self.mutation_seq[oid] = seq
+        return seq
+
+    def seq(self, oid: str) -> int:
+        """Current mutation counter for ``oid``."""
+        return self.mutation_seq.get(oid, 0)
+
+    # -- chunk map I/O -------------------------------------------------------
+
+    def metadata_key(self, oid: str) -> ObjectKey:
+        """Fully qualified key of a metadata object."""
+        return self.cluster.object_key(self.metadata_pool, oid)
+
+    def peek_chunk_map(self, oid: str) -> Optional[ChunkMap]:
+        """Read the chunk map without charging simulated time (tests,
+        accounting, planning)."""
+        key = self.metadata_key(oid)
+        for osd_id in self.metadata_pool.acting_set_for(oid):
+            osd = self.cluster.osds[osd_id]
+            if osd.up and osd.store.exists(key):
+                blob = osd.store.get(key).xattrs.get(CHUNK_MAP_XATTR)
+                return ChunkMap.deserialize(blob) if blob else None
+        return None
+
+    def load_chunk_map(self, oid: str):
+        """Process: fetch the chunk map at the metadata primary.
+
+        The lookup happens server-side as part of whatever operation
+        carries it (the map lives in the object's own metadata), so the
+        cost is a small primary disk read — no extra network round trip.
+        Returns ``None`` for an unknown object.
+        """
+        primary = self.cluster._primary(self.metadata_pool, oid)
+        key = self.metadata_key(oid)
+        if not primary.store.exists(key):
+            return None
+        blob = primary.store.get(key).xattrs.get(CHUNK_MAP_XATTR)
+        if blob is None:
+            return None
+        yield from primary.disk.read(len(blob))
+        return ChunkMap.deserialize(blob)
+
+    def read_local_chunk(self, oid: str, offset: int, length: int):
+        """Process: read cached chunk bytes at the metadata primary.
+
+        Used by the dedup engine, which runs next to the data: no client
+        network transfer, just a local disk read (an EC decode when the
+        metadata pool is erasure-coded).
+        """
+        if self.metadata_pool.is_ec:
+            data = yield from self.cluster._ec_read_internal(self.metadata_pool, oid)
+            return data[offset : offset + length]
+        primary = self.cluster._primary(self.metadata_pool, oid)
+        key = self.metadata_key(oid)
+        data = yield from primary.execute_read(key, offset, length)
+        return data
+
+    # -- chunk pool operations --------------------------------------------------
+
+    def chunk_lock(self, chunk_id: str) -> Resource:
+        """Per-chunk-object mutex for reference read-modify-write."""
+        lock = self._chunk_locks.get(chunk_id)
+        if lock is None:
+            lock = Resource(self.sim, capacity=1)
+            self._chunk_locks[chunk_id] = lock
+        return lock
+
+    def object_lock(self, oid: str) -> Resource:
+        """Per-metadata-object mutex for dedup passes."""
+        lock = self._object_locks.get(oid)
+        if lock is None:
+            lock = Resource(self.sim, capacity=1)
+            self._object_locks[oid] = lock
+        return lock
+
+    def _load_refs(self, chunk_id: str) -> RefSet:
+        key = self.cluster.object_key(self.chunk_pool, chunk_id)
+        for osd_id in self.chunk_pool.acting_set_for(chunk_id):
+            osd = self.cluster.osds[osd_id]
+            if osd.up and osd.store.exists(key):
+                blob = osd.store.get(key).xattrs.get(REFS_XATTR, b"")
+                return RefSet.deserialize(blob)
+        return RefSet()
+
+    def _store_refs(self, chunk_id: str, refs: RefSet, via):
+        blob = refs.serialize()
+        if self.chunk_pool.is_ec:
+            yield from self.cluster.setxattr(
+                self.chunk_pool, chunk_id, REFS_XATTR, blob, via
+            )
+        else:
+            key = self.cluster.object_key(self.chunk_pool, chunk_id)
+            txn = Transaction().setxattr(key, REFS_XATTR, blob)
+            yield from self.cluster.submit(self.chunk_pool, chunk_id, txn, via)
+
+    def chunk_ref(self, chunk_id: str, ref: ChunkRef, data: bytes, via):
+        """Process: store-or-reference a chunk object (§4.4.1 steps 4-5).
+
+        If no object exists at the content-derived location, store the
+        chunk with this first reference; otherwise only append reference
+        information — the write of the duplicate data never happens,
+        which *is* the deduplication.
+
+        With ``compress_chunks`` on, the payload is compressed before it
+        is stored (the chunk's *ID* is always the fingerprint of the
+        uncompressed content, so dedup detection is unaffected).
+
+        Returns True when the chunk data was newly stored.
+        """
+        lock = self.chunk_lock(chunk_id)
+        yield lock.acquire()
+        try:
+            exists = self.cluster.exists(self.chunk_pool, chunk_id)
+            refs = self._load_refs(chunk_id) if exists else RefSet()
+            refs.add(ref)
+            if not exists:
+                blob, encoding = data, b"raw"
+                if self.config.compress_chunks:
+                    node = getattr(via, "node", None)
+                    if node is not None:
+                        yield from node.cpu.execute(
+                            node.cpu.spec.compress_time(len(data))
+                        )
+                    coded = self.codec.compress(data)
+                    if len(coded) < len(data):
+                        blob, encoding = coded, b"zlib"
+                yield from self.cluster.write_full(self.chunk_pool, chunk_id, blob, via)
+                if self.config.compress_chunks:
+                    if self.chunk_pool.is_ec:
+                        yield from self.cluster.setxattr(
+                            self.chunk_pool, chunk_id, CHUNK_ENCODING_XATTR,
+                            encoding, via,
+                        )
+                    else:
+                        yield from self._set_encoding(chunk_id, encoding, via)
+                yield from self._store_refs(chunk_id, refs, via)
+                return True
+            yield from self._store_refs(chunk_id, refs, via)
+            return False
+        finally:
+            lock.release()
+
+    def _set_encoding(self, chunk_id: str, encoding: bytes, via):
+        key = self.cluster.object_key(self.chunk_pool, chunk_id)
+        txn = Transaction().setxattr(key, CHUNK_ENCODING_XATTR, encoding)
+        yield from self.cluster.submit(self.chunk_pool, chunk_id, txn, via)
+
+    def chunk_deref(self, chunk_id: str, ref: ChunkRef, via):
+        """Process: drop one reference; remove the chunk at zero refs.
+
+        Dereferencing a missing chunk or reference is a no-op (a crashed
+        dedup pass may retry a dereference that already happened — the
+        paper's §4.6 failure analysis relies on this idempotence).
+        """
+        lock = self.chunk_lock(chunk_id)
+        yield lock.acquire()
+        try:
+            if not self.cluster.exists(self.chunk_pool, chunk_id):
+                return
+            refs = self._load_refs(chunk_id)
+            if ref not in refs:
+                return
+            refs.discard(ref)
+            if len(refs) == 0:
+                yield from self.cluster.remove(self.chunk_pool, chunk_id, via)
+            else:
+                yield from self._store_refs(chunk_id, refs, via)
+        finally:
+            lock.release()
+
+    def read_chunk(self, chunk_id: str, offset: int, length: Optional[int], client):
+        """Process: read chunk bytes from the chunk pool (redirection).
+
+        Transparently decompresses tier-compressed chunks (the whole
+        chunk must be fetched and decoded before slicing — the CPU and
+        extra-bytes cost of compression's read path).
+        """
+        if not self.config.compress_chunks:
+            data = yield from self.cluster.read(
+                self.chunk_pool, chunk_id, offset, length, client
+            )
+            return data
+        blob = yield from self.cluster.read(self.chunk_pool, chunk_id, 0, None, client)
+        encoding = self._chunk_encoding(chunk_id)
+        if encoding == b"zlib":
+            primary = self.cluster._primary(self.chunk_pool, chunk_id)
+            yield from primary.node.cpu.execute(
+                primary.node.cpu.spec.compress_time(len(blob))
+            )
+            blob = self.codec.decompress(blob)
+        if length is None:
+            return blob[offset:]
+        return blob[offset : offset + length]
+
+    def _chunk_encoding(self, chunk_id: str) -> bytes:
+        key = self.cluster.object_key(self.chunk_pool, chunk_id)
+        for osd_id in self.chunk_pool.acting_set_for(chunk_id):
+            osd = self.cluster.osds[osd_id]
+            if osd.up and osd.store.exists(key):
+                return osd.store.get(key).xattrs.get(CHUNK_ENCODING_XATTR, b"raw")
+        return b"raw"
+
+    def chunk_refcount(self, chunk_id: str) -> int:
+        """Reference count of a chunk object (map-time, for tests)."""
+        return len(self._load_refs(chunk_id))
+
+    # -- accounting ----------------------------------------------------------------
+
+    def space_report(self) -> SpaceReport:
+        """Measure current space use (see :class:`SpaceReport`)."""
+        report = SpaceReport()
+        cluster = self.cluster
+        for oid in cluster.list_objects(self.metadata_pool):
+            key = self.metadata_key(oid)
+            for osd_id in self.metadata_pool.acting_set_for(oid):
+                osd = cluster.osds[osd_id]
+                if osd.store.exists(key):
+                    obj = osd.store.get(key)
+                    cmap_blob = obj.xattrs.get(CHUNK_MAP_XATTR, b"")
+                    cmap = ChunkMap.deserialize(cmap_blob) if cmap_blob else None
+                    report.metadata_objects += 1
+                    report.logical_bytes += (
+                        cmap.logical_size() if cmap else len(obj.data)
+                    )
+                    if self.metadata_pool.is_ec:
+                        # Each OSD holds one shard; payload-once bytes
+                        # are k shards' worth (parity excluded).
+                        report.cached_data_bytes += (
+                            obj.allocated_bytes() * self.metadata_pool.codec.k
+                        )
+                    else:
+                        report.cached_data_bytes += obj.allocated_bytes()
+                    report.metadata_bytes += PER_OBJECT_OVERHEAD + len(cmap_blob)
+                    break
+        for cid in cluster.list_objects(self.chunk_pool):
+            key = cluster.object_key(self.chunk_pool, cid)
+            for osd_id in self.chunk_pool.acting_set_for(cid):
+                osd = cluster.osds[osd_id]
+                if osd.store.exists(key):
+                    obj = osd.store.get(key)
+                    report.chunk_objects += 1
+                    if self.chunk_pool.is_ec:
+                        length = int(obj.xattrs["_ec.length"].decode("ascii"))
+                        report.chunk_data_bytes += length
+                    else:
+                        report.chunk_data_bytes += len(obj.data)
+                    report.metadata_bytes += PER_OBJECT_OVERHEAD + len(
+                        obj.xattrs.get(REFS_XATTR, b"")
+                    )
+                    break
+        report.raw_used_bytes = cluster.pool_used_bytes(
+            self.metadata_pool
+        ) + cluster.pool_used_bytes(self.chunk_pool)
+        return report

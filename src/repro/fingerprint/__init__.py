@@ -1,0 +1,12 @@
+"""Fingerprinting and the baseline fingerprint index."""
+
+from .fingerprint import FINGERPRINT_ALGORITHMS, fingerprint, fingerprint_size
+from .index import FingerprintIndex, IndexStats
+
+__all__ = [
+    "fingerprint",
+    "fingerprint_size",
+    "FINGERPRINT_ALGORITHMS",
+    "FingerprintIndex",
+    "IndexStats",
+]

@@ -1,0 +1,113 @@
+"""The conventional fingerprint index — the thing the paper *removes*.
+
+Traditional dedup (paper Figure 1) keeps an in-memory table mapping
+``fingerprint -> chunk address``.  Its two scalability problems motivate
+the whole design (§3.1):
+
+* memory: at ~32 bytes/entry the index outgrows RAM as capacity grows
+  into the PB range;
+* placement: in a shared-nothing cluster there is no natural home for
+  it short of an MDS (a SPOF and a bottleneck).
+
+We implement it faithfully — including memory accounting and an optional
+"representative fingerprint" sampling mode [12][33][37] — so benchmarks
+can compare index-based dedup against the index-free double-hashing
+design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .fingerprint import fingerprint_size
+
+__all__ = ["IndexStats", "FingerprintIndex"]
+
+
+@dataclass
+class IndexStats:
+    """Occupancy and traffic counters for a fingerprint index."""
+
+    entries: int = 0
+    lookups: int = 0
+    hits: int = 0
+    inserts: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that found an entry."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class FingerprintIndex:
+    """An in-memory fingerprint -> address table with memory accounting.
+
+    ``sample_bits`` > 0 turns it into a representative-fingerprint index:
+    only fingerprints whose low ``sample_bits`` bits are zero are
+    indexed, shrinking memory by ``2**sample_bits`` at the cost of missed
+    duplicates (the trade-off the paper cites as inherent to that line of
+    work).
+
+    ``memory_limit`` (bytes) optionally caps the table; beyond it, the
+    oldest entries are evicted FIFO — modelling the "cannot reside in
+    memory" failure mode of §3.1.
+    """
+
+    def __init__(
+        self,
+        algorithm: str = "sha1",
+        address_bytes: int = 12,
+        sample_bits: int = 0,
+        memory_limit: Optional[int] = None,
+    ):
+        if sample_bits < 0:
+            raise ValueError(f"sample_bits must be >= 0, got {sample_bits}")
+        self.algorithm = algorithm
+        self.entry_bytes = fingerprint_size(algorithm) + address_bytes
+        self.sample_bits = sample_bits
+        self.memory_limit = memory_limit
+        self.stats = IndexStats()
+        self._table: Dict[str, object] = {}
+
+    def _sampled_out(self, fp: str) -> bool:
+        if self.sample_bits == 0:
+            return False
+        return int(fp, 16) & ((1 << self.sample_bits) - 1) != 0
+
+    def memory_bytes(self) -> int:
+        """Bytes of RAM this index occupies."""
+        return len(self._table) * self.entry_bytes
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def lookup(self, fp: str):
+        """Address stored for ``fp``, or ``None``."""
+        self.stats.lookups += 1
+        addr = self._table.get(fp)
+        if addr is not None:
+            self.stats.hits += 1
+        return addr
+
+    def insert(self, fp: str, address: object) -> bool:
+        """Index ``fp``; returns False if sampled out (not indexed)."""
+        if self._sampled_out(fp):
+            return False
+        if fp not in self._table:
+            self.stats.inserts += 1
+            self.stats.entries += 1
+        self._table[fp] = address
+        if self.memory_limit is not None:
+            while self.memory_bytes() > self.memory_limit and self._table:
+                oldest = next(iter(self._table))
+                del self._table[oldest]
+                self.stats.evictions += 1
+                self.stats.entries -= 1
+        return True
+
+    def remove(self, fp: str) -> None:
+        """Drop ``fp`` if present."""
+        if self._table.pop(fp, None) is not None:
+            self.stats.entries -= 1

@@ -1,0 +1,14 @@
+"""Measurement utilities: latencies, throughput series, usage snapshots."""
+
+from .latency import LatencyRecorder
+from .timeseries import ThroughputSeries
+from .usage import CpuSnapshot, StorageBreakdown, cpu_usage, storage_breakdown
+
+__all__ = [
+    "LatencyRecorder",
+    "ThroughputSeries",
+    "CpuSnapshot",
+    "cpu_usage",
+    "StorageBreakdown",
+    "storage_breakdown",
+]

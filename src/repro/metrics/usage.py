@@ -1,0 +1,52 @@
+"""Cluster resource-usage snapshots: CPU and storage."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["CpuSnapshot", "cpu_usage", "StorageBreakdown", "storage_breakdown"]
+
+
+@dataclass
+class CpuSnapshot:
+    """Average CPU utilisation per node plus the cluster-wide mean."""
+
+    per_node: Dict[str, float]
+
+    @property
+    def mean(self) -> float:
+        """Cluster-average fraction of cores busy (0..1)."""
+        if not self.per_node:
+            return 0.0
+        return sum(self.per_node.values()) / len(self.per_node)
+
+    @property
+    def mean_percent(self) -> float:
+        """Cluster-average CPU usage in percent (Figure 10's axis)."""
+        return 100.0 * self.mean
+
+
+def cpu_usage(cluster, since: float = 0.0) -> CpuSnapshot:
+    """Measure CPU utilisation of every storage node since ``since``."""
+    return CpuSnapshot(
+        per_node={
+            name: node.cpu.utilization(since) for name, node in cluster.nodes.items()
+        }
+    )
+
+
+@dataclass
+class StorageBreakdown:
+    """Raw space used per pool and in total (Figure 12-e's axis)."""
+
+    per_pool: Dict[str, int]
+    total: int
+
+
+def storage_breakdown(cluster) -> StorageBreakdown:
+    """Raw bytes (all replicas/shards + metadata) used by each pool."""
+    per_pool = {
+        name: cluster.pool_used_bytes(pool) for name, pool in cluster.pools.items()
+    }
+    return StorageBreakdown(per_pool=per_pool, total=cluster.total_used_bytes())

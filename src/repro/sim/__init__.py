@@ -1,0 +1,30 @@
+"""Discrete-event simulation kernel (clock, processes, resources, RNG)."""
+
+from .core import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from .resources import Resource, Store, TokenBucket
+from .rng import RngRegistry, derive_seed
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+    "Resource",
+    "Store",
+    "TokenBucket",
+    "RngRegistry",
+    "derive_seed",
+]

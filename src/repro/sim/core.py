@@ -1,0 +1,394 @@
+"""Discrete-event simulation kernel.
+
+The cluster substrate and the deduplication tier are exercised on a
+simulated clock rather than wall time: every disk access, network
+message, and CPU-bound operation (hashing, erasure coding) advances the
+clock by the amount of time the modelled device would take.  This module
+provides the minimal machinery for that style of simulation:
+
+* :class:`Simulator` — the event loop and clock.
+* :class:`Event` — a one-shot occurrence processes can wait on.
+* :class:`Process` — a generator-driven activity; ``yield``-ing an event
+  suspends the process until the event fires.
+* :class:`Timeout`, :class:`AllOf`, :class:`AnyOf` — composite events.
+
+The design deliberately mirrors a small subset of SimPy (which is not
+available offline); it is implemented from scratch and only contains the
+features this project needs.
+
+Example
+-------
+>>> sim = Simulator()
+>>> log = []
+>>> def worker(sim, name, delay):
+...     yield sim.timeout(delay)
+...     log.append((sim.now, name))
+>>> _ = sim.process(worker(sim, "a", 2.0))
+>>> _ = sim.process(worker(sim, "b", 1.0))
+>>> sim.run()
+>>> log
+[(1.0, 'b'), (2.0, 'a')]
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+]
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel (e.g. double-trigger)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when :meth:`Process.interrupt` is called.
+
+    ``cause`` carries an arbitrary payload describing why the process was
+    interrupted (for instance, an OSD failure notice).
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence with a value (or an exception).
+
+    Processes wait on events by ``yield``-ing them.  An event fires when
+    :meth:`succeed` or :meth:`fail` is called; all subscribed callbacks
+    run at the simulated time of the trigger.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_exc", "triggered", "processed")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        #: True once succeed()/fail() has been called.
+        self.triggered = False
+        #: True once callbacks have run.
+        self.processed = False
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event fired successfully (no exception)."""
+        return self.triggered and self._exc is None
+
+    @property
+    def value(self) -> Any:
+        """The success value. Only meaningful once triggered and ``ok``."""
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        """The failure exception, or ``None``."""
+        return self._exc
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self.triggered = True
+        self._value = value
+        self.sim._enqueue(self)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event with an exception ``exc``.
+
+        Any process waiting on the event will have ``exc`` thrown into it.
+        """
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self.triggered = True
+        self._exc = exc
+        self.sim._enqueue(self)
+        return self
+
+    def subscribe(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` when the event fires.
+
+        If the event has already been processed the callback is scheduled
+        to run immediately (at the current simulated time).
+        """
+        if self.callbacks is None:
+            self.sim.call_soon(callback, self)
+        else:
+            self.callbacks.append(callback)
+
+    def _process(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        self.processed = True
+        for callback in callbacks or ():
+            callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self.triggered else "pending"
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self.triggered = True
+        self._value = value
+        sim._enqueue(self, delay)
+
+
+class Process(Event):
+    """A generator-driven activity.
+
+    The generator may ``yield`` any :class:`Event`; the process resumes
+    with the event's value (or has the event's exception thrown into it).
+    A process is itself an event that fires with the generator's return
+    value, so processes can wait on each other.
+    """
+
+    __slots__ = ("gen", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", gen: Generator[Event, Any, Any]):
+        super().__init__(sim)
+        if not hasattr(gen, "send"):
+            raise TypeError(f"process() requires a generator, got {gen!r}")
+        self.gen = gen
+        self._waiting_on: Optional[Event] = None
+        # Kick off at the current time.
+        bootstrap = Event(sim)
+        bootstrap.succeed(None)
+        bootstrap.subscribe(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is a no-op.
+        """
+        if not self.is_alive:
+            return
+        self.sim.call_soon(self._do_interrupt, Interrupt(cause))
+
+    def _do_interrupt(self, exc: Interrupt) -> None:
+        if not self.is_alive:
+            return
+        # Detach from whatever we were waiting on; the stale event callback
+        # checks `_waiting_on` identity before resuming.
+        self._waiting_on = None
+        self._step(exc=exc)
+
+    def _resume(self, event: Event) -> None:
+        if not self.is_alive:
+            return
+        if self._waiting_on is not None and event is not self._waiting_on:
+            return  # stale wake-up from a pre-interrupt subscription
+        self._waiting_on = None
+        if event.ok:
+            self._step(value=event._value)
+        else:
+            self._step(exc=event.exception)
+
+    def _step(self, value: Any = None, exc: Optional[BaseException] = None) -> None:
+        while True:
+            try:
+                if exc is None:
+                    target = self.gen.send(value)
+                else:
+                    target = self.gen.throw(exc)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                return
+            except BaseException as error:
+                self.fail(error)
+                return
+            if not isinstance(target, Event):
+                value, exc = None, SimulationError(
+                    f"process yielded non-event {target!r}"
+                )
+                continue
+            if target.sim is not self.sim:
+                value, exc = None, SimulationError(
+                    "event belongs to another simulator"
+                )
+                continue
+            self._waiting_on = target
+            target.subscribe(self._resume)
+            return
+
+
+class _Condition(Event):
+    """Base for :class:`AllOf` / :class:`AnyOf`."""
+
+    __slots__ = ("events", "_pending")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events: List[Event] = list(events)
+        self._pending = len(self.events)
+        if not self.events:
+            self.succeed([])
+            return
+        for event in self.events:
+            event.subscribe(self._on_child)
+
+    def _on_child(self, event: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires when *all* child events have fired.
+
+    Succeeds with the list of child values (in construction order).
+    Fails with the first child exception observed.
+    """
+
+    __slots__ = ()
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.exception)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed([child._value for child in self.events])
+
+
+class AnyOf(_Condition):
+    """Fires when *any* child event fires; value is ``(event, value)``."""
+
+    __slots__ = ()
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.exception)
+            return
+        self.succeed((event, event._value))
+
+
+class Simulator:
+    """The event loop: a clock plus a priority queue of pending events.
+
+    All times are floats in **seconds** of simulated time.
+    """
+
+    def __init__(self):
+        #: Current simulated time, in seconds.
+        self.now: float = 0.0
+        self._queue: List[Any] = []
+        self._seq = itertools.count()
+        self._processed_events = 0
+
+    # -- scheduling ------------------------------------------------------
+
+    def _enqueue(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(self._queue, (self.now + delay, next(self._seq), event))
+
+    def call_soon(self, func: Callable[..., None], *args: Any) -> None:
+        """Schedule ``func(*args)`` at the current simulated time."""
+        self.call_later(0.0, func, *args)
+
+    def call_later(self, delay: float, func: Callable[..., None], *args: Any) -> None:
+        """Schedule ``func(*args)`` after ``delay`` simulated seconds."""
+        event = Event(self)
+        event.triggered = True
+        event.callbacks = [lambda _ev: func(*args)]
+        heapq.heappush(self._queue, (self.now + delay, next(self._seq), event))
+
+    # -- event / process constructors -------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh, untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event firing ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator[Event, Any, Any]) -> Process:
+        """Start ``gen`` as a :class:`Process` at the current time."""
+        return Process(self, gen)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event firing when all ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event firing when the first of ``events`` fires."""
+        return AnyOf(self, events)
+
+    # -- running -----------------------------------------------------------
+
+    def step(self) -> None:
+        """Process exactly one queued event, advancing the clock to it."""
+        when, _seq, event = heapq.heappop(self._queue)
+        if when < self.now:
+            raise SimulationError("time went backwards")
+        self.now = when
+        self._processed_events += 1
+        event._process()
+
+    def peek(self) -> float:
+        """Time of the next queued event, or ``float('inf')`` if idle."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains, or until simulated time ``until``.
+
+        When ``until`` is given the clock is advanced to exactly ``until``
+        even if the last event fires earlier.
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return
+        if until < self.now:
+            raise ValueError(f"until={until} is in the past (now={self.now})")
+        while self._queue and self._queue[0][0] <= until:
+            self.step()
+        self.now = until
+
+    def run_until_complete(self, event: Event) -> Any:
+        """Run until ``event`` fires; return its value (or raise).
+
+        This is the bridge between synchronous test/bench code and the
+        simulated world: wrap an operation in a process and drive the loop
+        until it resolves.
+        """
+        while not event.triggered:
+            if not self._queue:
+                raise SimulationError("deadlock: event queue drained while waiting")
+            self.step()
+        # Let same-timestamp callbacks (e.g. resource releases) settle.
+        return event.value

@@ -1,0 +1,218 @@
+"""Shared, contended resources for the simulation kernel.
+
+* :class:`Resource` — a counted semaphore with FIFO queuing; models a
+  device that can serve ``capacity`` requests concurrently (e.g. an SSD
+  with an internal queue depth, or a CPU with N cores).
+* :class:`Store` — an unbounded/bounded FIFO buffer of items; models
+  mailboxes and work queues between processes.
+* :class:`TokenBucket` — a rate limiter with burst capacity; models
+  bandwidth caps and the deduplication rate controller's I/O budget.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, Optional
+
+from .core import Event, SimulationError, Simulator
+
+__all__ = ["Resource", "Store", "TokenBucket"]
+
+
+class Resource:
+    """A counted FIFO resource (semaphore) on the simulated clock.
+
+    Usage from a process::
+
+        yield resource.acquire()
+        try:
+            yield sim.timeout(service_time)
+        finally:
+            resource.release()
+
+    or the equivalent one-liner ``yield sim.process(resource.serve(t))``.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+        #: Total simulated time during which at least one slot was busy.
+        self.busy_time = 0.0
+        #: Integral of (slots in use) over time; divide by elapsed time and
+        #: capacity for average utilisation.
+        self.busy_integral = 0.0
+        self._last_change = sim.now
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently held slots."""
+        return self._in_use
+
+    @property
+    def queue_len(self) -> int:
+        """Number of acquirers waiting for a slot."""
+        return len(self._waiters)
+
+    def _account(self) -> None:
+        now = self.sim.now
+        elapsed = now - self._last_change
+        if elapsed > 0:
+            self.busy_integral += elapsed * self._in_use
+            if self._in_use > 0:
+                self.busy_time += elapsed
+        self._last_change = now
+
+    def utilization(self, since: float = 0.0) -> float:
+        """Average fraction of capacity in use since time ``since``."""
+        self._account()
+        elapsed = self.sim.now - since
+        if elapsed <= 0:
+            return 0.0
+        return self.busy_integral / (elapsed * self.capacity)
+
+    def acquire(self) -> Event:
+        """Return an event that fires once a slot is granted (FIFO)."""
+        event = Event(self.sim)
+        if self._in_use < self.capacity and not self._waiters:
+            self._account()
+            self._in_use += 1
+            event.succeed(self)
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Release one held slot, waking the next FIFO waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError("release() without a matching acquire()")
+        self._account()
+        if self._waiters:
+            # Hand the slot straight to the next waiter; occupancy unchanged.
+            waiter = self._waiters.popleft()
+            waiter.succeed(self)
+        else:
+            self._in_use -= 1
+
+    def serve(self, duration: float) -> Generator[Event, Any, None]:
+        """Process generator: hold one slot for ``duration`` seconds."""
+        yield self.acquire()
+        try:
+            yield self.sim.timeout(duration)
+        finally:
+            self.release()
+
+
+class Store:
+    """A FIFO buffer of items between producer and consumer processes."""
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple] = deque()  # (event, item)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> Event:
+        """Return an event that fires once ``item`` has been accepted."""
+        event = Event(self.sim)
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            event.succeed(None)
+        elif self.capacity is None or len(self._items) < self.capacity:
+            self._items.append(item)
+            event.succeed(None)
+        else:
+            self._putters.append((event, item))
+        return event
+
+    def get(self) -> Event:
+        """Return an event that fires with the next item (FIFO)."""
+        event = Event(self.sim)
+        if self._items:
+            item = self._items.popleft()
+            if self._putters:
+                put_event, pending = self._putters.popleft()
+                self._items.append(pending)
+                put_event.succeed(None)
+            event.succeed(item)
+        else:
+            self._getters.append(event)
+        return event
+
+
+class TokenBucket:
+    """A token-bucket rate limiter on the simulated clock.
+
+    Tokens accrue at ``rate`` per second up to ``capacity``.  An
+    :meth:`acquire` for ``n`` tokens fires once ``n`` tokens are
+    available; acquirers are served FIFO so a large request cannot be
+    starved by a stream of small ones.
+    """
+
+    def __init__(self, sim: Simulator, rate: float, capacity: Optional[float] = None):
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        self.sim = sim
+        self.rate = rate
+        self.capacity = capacity if capacity is not None else rate
+        if self.capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {self.capacity}")
+        self._tokens = self.capacity
+        self._last_refill = sim.now
+        self._waiters: Deque[tuple] = deque()  # (event, amount)
+        self._drain_scheduled = False
+
+    def _refill(self) -> None:
+        now = self.sim.now
+        self._tokens = min(
+            self.capacity, self._tokens + (now - self._last_refill) * self.rate
+        )
+        self._last_refill = now
+
+    @property
+    def tokens(self) -> float:
+        """Tokens available right now."""
+        self._refill()
+        return self._tokens
+
+    def acquire(self, amount: float = 1.0) -> Event:
+        """Return an event firing when ``amount`` tokens are granted."""
+        if amount <= 0:
+            raise ValueError(f"amount must be positive, got {amount}")
+        if amount > self.capacity:
+            raise ValueError(
+                f"amount {amount} exceeds bucket capacity {self.capacity}"
+            )
+        event = Event(self.sim)
+        self._waiters.append((event, amount))
+        self._drain()
+        return event
+
+    def _drain(self) -> None:
+        self._refill()
+        while self._waiters:
+            event, amount = self._waiters[0]
+            if amount <= self._tokens + 1e-12:
+                self._tokens -= amount
+                self._waiters.popleft()
+                event.succeed(None)
+                continue
+            if not self._drain_scheduled:
+                wait = (amount - self._tokens) / self.rate
+                self._drain_scheduled = True
+                self.sim.call_later(wait, self._drain_tick)
+            break
+
+    def _drain_tick(self) -> None:
+        self._drain_scheduled = False
+        self._drain()

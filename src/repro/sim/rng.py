@@ -1,0 +1,48 @@
+"""Deterministic random-number streams.
+
+Every stochastic component (workload generators, failure injectors,
+placement jitter) draws from its own named stream so that adding a new
+consumer of randomness never perturbs the draws seen by existing ones.
+All streams derive deterministically from a single experiment seed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+__all__ = ["RngRegistry", "derive_seed"]
+
+
+def derive_seed(root_seed: int, name: str) -> int:
+    """Derive a 64-bit child seed from ``root_seed`` and a stream name.
+
+    Uses SHA-256 so the mapping is stable across Python versions and
+    processes (unlike ``hash()``).
+    """
+    digest = hashlib.sha256(f"{root_seed}:{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class RngRegistry:
+    """A factory of independent, named ``random.Random`` streams."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._streams: dict = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the stream for ``name``, creating it on first use.
+
+        Calling repeatedly with the same name returns the *same* object so
+        draws continue where they left off.
+        """
+        rng = self._streams.get(name)
+        if rng is None:
+            rng = random.Random(derive_seed(self.seed, name))
+            self._streams[name] = rng
+        return rng
+
+    def fork(self, name: str) -> "RngRegistry":
+        """A child registry whose streams are independent of this one's."""
+        return RngRegistry(derive_seed(self.seed, f"fork:{name}"))

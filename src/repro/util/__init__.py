@@ -1,0 +1,6 @@
+"""Small shared utilities (interval sets, bloom filters, formatting)."""
+
+from .bloom import BloomFilter
+from .intervals import IntervalSet
+
+__all__ = ["IntervalSet", "BloomFilter"]

@@ -1,0 +1,52 @@
+"""A counting-free Bloom filter.
+
+The paper's cache manager persists its HitSets to storage and keeps an
+in-memory Bloom filter for existence checks (§5, "Cache management").
+This is that filter: ``k`` hash probes into an ``m``-bit array derived
+from the target capacity and false-positive rate.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..sim.rng import derive_seed
+
+__all__ = ["BloomFilter"]
+
+
+class BloomFilter:
+    """Standard Bloom filter with double hashing for the k probes."""
+
+    def __init__(self, capacity: int, error_rate: float = 0.01):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if not (0.0 < error_rate < 1.0):
+            raise ValueError(f"error_rate must be in (0, 1), got {error_rate}")
+        self.capacity = capacity
+        self.error_rate = error_rate
+        self.num_bits = max(8, int(-capacity * math.log(error_rate) / (math.log(2) ** 2)))
+        self.num_hashes = max(1, round(self.num_bits / capacity * math.log(2)))
+        self._bits = bytearray((self.num_bits + 7) // 8)
+        self.count = 0
+
+    def _probes(self, item: str):
+        h1 = derive_seed(0, item)
+        h2 = derive_seed(1, item) | 1
+        for i in range(self.num_hashes):
+            yield (h1 + i * h2) % self.num_bits
+
+    def add(self, item: str) -> None:
+        """Insert ``item``."""
+        for bit in self._probes(item):
+            self._bits[bit >> 3] |= 1 << (bit & 7)
+        self.count += 1
+
+    def __contains__(self, item: str) -> bool:
+        return all(
+            self._bits[bit >> 3] & (1 << (bit & 7)) for bit in self._probes(item)
+        )
+
+    def memory_bytes(self) -> int:
+        """RAM footprint of the bit array."""
+        return len(self._bits)

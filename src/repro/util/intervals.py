@@ -1,0 +1,106 @@
+"""Disjoint integer interval sets.
+
+Used by the object store to track *holes*: byte ranges of an object's
+payload that have been punched out (deallocated).  The dedup tier
+punches a chunk's range out of a metadata object when the chunk has been
+flushed to the chunk pool and evicted from the cache, so space
+accounting must subtract holes from the payload length.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+__all__ = ["IntervalSet"]
+
+
+class IntervalSet:
+    """A set of disjoint, half-open integer intervals ``[start, end)``.
+
+    Intervals are kept sorted and coalesced; ``add``/``remove`` are
+    O(n) in the number of stored intervals, which is plenty for
+    per-object hole tracking (a handful of chunks).
+    """
+
+    def __init__(self):
+        self._ivs: List[Tuple[int, int]] = []
+
+    def __len__(self) -> int:
+        return len(self._ivs)
+
+    def __iter__(self) -> Iterator[Tuple[int, int]]:
+        return iter(self._ivs)
+
+    def __bool__(self) -> bool:
+        return bool(self._ivs)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, IntervalSet):
+            return self._ivs == other._ivs
+        return NotImplemented
+
+    @staticmethod
+    def _check(start: int, end: int) -> None:
+        if start < 0 or end < start:
+            raise ValueError(f"invalid interval [{start}, {end})")
+
+    def add(self, start: int, end: int) -> None:
+        """Insert ``[start, end)``, merging with any overlap/adjacency."""
+        self._check(start, end)
+        if start == end:
+            return
+        out: List[Tuple[int, int]] = []
+        for s, e in self._ivs:
+            if e < start or s > end:  # disjoint (adjacency merges)
+                out.append((s, e))
+            else:
+                start = min(start, s)
+                end = max(end, e)
+        out.append((start, end))
+        out.sort()
+        self._ivs = out
+
+    def remove(self, start: int, end: int) -> None:
+        """Delete ``[start, end)`` from the set, splitting as needed."""
+        self._check(start, end)
+        if start == end:
+            return
+        out: List[Tuple[int, int]] = []
+        for s, e in self._ivs:
+            if e <= start or s >= end:
+                out.append((s, e))
+                continue
+            if s < start:
+                out.append((s, start))
+            if e > end:
+                out.append((end, e))
+        self._ivs = out
+
+    def clip(self, end: int) -> None:
+        """Drop everything at or beyond ``end`` (used by truncate)."""
+        self.remove(end, max(end, self.max_end()))
+
+    def max_end(self) -> int:
+        """Largest covered offset, or 0 when empty."""
+        return self._ivs[-1][1] if self._ivs else 0
+
+    def total(self) -> int:
+        """Total covered length."""
+        return sum(e - s for s, e in self._ivs)
+
+    def total_within(self, start: int, end: int) -> int:
+        """Covered length intersecting ``[start, end)``."""
+        self._check(start, end)
+        return sum(
+            max(0, min(e, end) - max(s, start)) for s, e in self._ivs
+        )
+
+    def contains(self, point: int) -> bool:
+        """Whether ``point`` falls inside any interval."""
+        return any(s <= point < e for s, e in self._ivs)
+
+    def copy(self) -> "IntervalSet":
+        """An independent copy."""
+        dup = IntervalSet()
+        dup._ivs = list(self._ivs)
+        return dup

@@ -1,0 +1,26 @@
+"""Workload generators: FIO-like, SPEC-SFS-2014-DB-like, cloud images,
+deterministic content generation, and trace record/replay."""
+
+from .backup import BackupSpec, BackupStream
+from .cloud import VmImagePopulation, VmPopulationSpec, private_cloud_spec
+from .datagen import ContentGenerator
+from .fio import FioJobSpec, FioResult, FioRunner
+from .sfs import SfsDatabaseSpec, SfsDatabaseWorkload, SfsResult
+from .traces import Trace, TraceOp
+
+__all__ = [
+    "BackupSpec",
+    "BackupStream",
+    "ContentGenerator",
+    "FioJobSpec",
+    "FioRunner",
+    "FioResult",
+    "SfsDatabaseSpec",
+    "SfsDatabaseWorkload",
+    "SfsResult",
+    "VmPopulationSpec",
+    "VmImagePopulation",
+    "private_cloud_spec",
+    "Trace",
+    "TraceOp",
+]

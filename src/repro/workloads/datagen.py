@@ -1,0 +1,112 @@
+"""Deterministic content generation with controlled redundancy.
+
+Workloads need payloads whose *dedupability* and *compressibility* are
+dialled in, like FIO's ``dedupe_percentage`` and
+``buffer_compress_percentage``:
+
+* dedupe ratio ``d``: a generated block is, with probability ``d``, a
+  repeat of a previously generated block; otherwise fresh unique bytes.
+* compressibility ``c``: a fraction ``c`` of each block is zeros, the
+  rest incompressible random bytes — zlib then saves roughly ``c``.
+
+All draws come from named, seeded streams, so a workload regenerates
+byte-identical data on every run.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..sim import RngRegistry
+
+__all__ = ["ContentGenerator", "compressible_bytes"]
+
+#: Zeros are interleaved at this granularity so compressibility never
+#: creates whole chunks of zeros (which would dedup as an artifact of
+#: chunk size rather than of the dataset).
+_COMPRESS_CELL = 1024
+
+
+def compressible_bytes(rng, size: int, ratio: float) -> bytes:
+    """``size`` bytes, a ``ratio`` fraction of which is zeros.
+
+    Zeros are spread in small runs (one per KiB cell) rather than one
+    prefix, so zlib saves ~``ratio`` while no chunk-sized region is all
+    zeros.
+    """
+    if ratio <= 0.0:
+        return rng.randbytes(size)
+    zeros_per_cell = int(_COMPRESS_CELL * ratio)
+    rand_per_cell = _COMPRESS_CELL - zeros_per_cell
+    parts = []
+    remaining = size
+    while remaining > 0:
+        cell = min(_COMPRESS_CELL, remaining)
+        z = min(zeros_per_cell, cell)
+        parts.append(b"\x00" * z)
+        parts.append(rng.randbytes(cell - z))
+        remaining -= cell
+    return b"".join(parts)
+
+
+class ContentGenerator:
+    """Generates blocks with target dedupe and compression ratios."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        dedupe_ratio: float = 0.0,
+        compress_ratio: float = 0.0,
+        duplicate_pool_size: int = 256,
+    ):
+        if not (0.0 <= dedupe_ratio <= 1.0):
+            raise ValueError(f"dedupe_ratio must be in [0, 1], got {dedupe_ratio}")
+        if not (0.0 <= compress_ratio <= 1.0):
+            raise ValueError(
+                f"compress_ratio must be in [0, 1], got {compress_ratio}"
+            )
+        if duplicate_pool_size < 1:
+            raise ValueError("duplicate_pool_size must be >= 1")
+        self.dedupe_ratio = dedupe_ratio
+        self.compress_ratio = compress_ratio
+        self.duplicate_pool_size = duplicate_pool_size
+        self._rng = RngRegistry(seed)
+        self._dup_pool: List[bytes] = []
+        #: Counters for tests.
+        self.blocks_emitted = 0
+        self.duplicates_emitted = 0
+
+    def _fresh_block(self, size: int) -> bytes:
+        rng = self._rng.stream("content")
+        return compressible_bytes(rng, size, self.compress_ratio)
+
+    def block(self, size: int) -> bytes:
+        """Produce the next block of ``size`` bytes.
+
+        With probability ``dedupe_ratio`` it repeats an earlier block of
+        the same size (truncated/refreshed if sizes differ); otherwise
+        it is unique.
+        """
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size}")
+        self.blocks_emitted += 1
+        choice_rng = self._rng.stream("choice")
+        pool = [b for b in self._dup_pool if len(b) == size]
+        if pool and choice_rng.random() < self.dedupe_ratio:
+            self.duplicates_emitted += 1
+            return pool[choice_rng.randrange(len(pool))]
+        block = self._fresh_block(size)
+        self._dup_pool.append(block)
+        if len(self._dup_pool) > self.duplicate_pool_size:
+            del self._dup_pool[0]
+        return block
+
+    def stream(self, total_bytes: int, block_size: int) -> List[bytes]:
+        """A list of blocks totalling ``total_bytes`` (last may be short)."""
+        blocks = []
+        remaining = total_bytes
+        while remaining > 0:
+            size = min(block_size, remaining)
+            blocks.append(self.block(size))
+            remaining -= size
+        return blocks

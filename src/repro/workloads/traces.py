@@ -1,0 +1,105 @@
+"""I/O trace recording and replay.
+
+A trace is a list of timestamped operations with deterministic content
+seeds (contents regenerate from the seed, so traces stay small).  Traces
+make experiments repeatable across storage configurations: record once,
+replay against Original / Proposed / EC variants.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import List, Optional
+
+from ..sim import RngRegistry
+
+__all__ = ["TraceOp", "Trace"]
+
+
+@dataclass(frozen=True)
+class TraceOp:
+    """One operation: when, what, where, and (for writes) which content."""
+
+    at: float
+    op: str  # "write" | "read"
+    oid: str
+    offset: int
+    length: int
+    content_seed: int = 0
+
+    def __post_init__(self):
+        if self.op not in ("write", "read"):
+            raise ValueError(f"op must be 'write' or 'read', got {self.op!r}")
+        if self.offset < 0 or self.length < 0:
+            raise ValueError("offset/length must be non-negative")
+
+    def content(self) -> bytes:
+        """The deterministic payload of a write op."""
+        rng = RngRegistry(self.content_seed).stream("trace-content")
+        return rng.randbytes(self.length)
+
+
+class Trace:
+    """An ordered sequence of :class:`TraceOp`."""
+
+    def __init__(self, ops: Optional[List[TraceOp]] = None):
+        self.ops: List[TraceOp] = list(ops or [])
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def append(self, op: TraceOp) -> None:
+        """Add an op (must not go back in time)."""
+        if self.ops and op.at < self.ops[-1].at:
+            raise ValueError("trace ops must be time-ordered")
+        self.ops.append(op)
+
+    # -- persistence ----------------------------------------------------------
+
+    def dumps(self) -> str:
+        """Serialise to JSON lines."""
+        return "\n".join(json.dumps(asdict(op)) for op in self.ops)
+
+    @classmethod
+    def loads(cls, text: str) -> "Trace":
+        """Inverse of :meth:`dumps`."""
+        ops = [
+            TraceOp(**json.loads(line)) for line in text.splitlines() if line.strip()
+        ]
+        return cls(ops)
+
+    def save(self, path: str) -> None:
+        """Write to a file."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.dumps())
+
+    @classmethod
+    def load(cls, path: str) -> "Trace":
+        """Read from a file."""
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.loads(fh.read())
+
+    # -- replay ------------------------------------------------------------------
+
+    def replay(self, storage, paced: bool = True, client=None):
+        """Process: replay all ops against ``storage``.
+
+        ``paced`` honours the recorded timestamps (waiting between ops);
+        otherwise ops run back-to-back as fast as the system allows.
+        """
+        sim = storage.sim
+        t0 = sim.now
+        for op in self.ops:
+            if paced:
+                target = t0 + op.at
+                if target > sim.now:
+                    yield sim.timeout(target - sim.now)
+            if op.op == "write":
+                yield from storage.write(op.oid, op.content(), op.offset, client)
+            else:
+                yield from storage.read(op.oid, op.offset, op.length, client)
+
+    def replay_sync(self, storage, paced: bool = True) -> None:
+        """Synchronous :meth:`replay`."""
+        storage.cluster.run(self.replay(storage, paced))

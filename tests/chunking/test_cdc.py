@@ -1,0 +1,86 @@
+"""Tests for the content-defined (gear/FastCDC-style) chunker."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chunking import GearChunker, validate_chunking
+
+
+def random_bytes(n, seed=0):
+    return random.Random(seed).randbytes(n)
+
+
+def test_chunks_tile_payload():
+    data = random_bytes(100_000)
+    chunker = GearChunker(avg_size=1024)
+    validate_chunking(data, chunker.chunk(data))
+
+
+def test_respects_min_and_max():
+    data = random_bytes(200_000)
+    chunker = GearChunker(avg_size=1024)
+    spans = chunker.chunk(data)
+    for span in spans[:-1]:
+        assert chunker.min_size <= span.length <= chunker.max_size
+    assert spans[-1].length <= chunker.max_size
+
+
+def test_average_size_near_target():
+    data = random_bytes(1_000_000)
+    chunker = GearChunker(avg_size=2048)
+    spans = chunker.chunk(data)
+    avg = sum(s.length for s in spans) / len(spans)
+    assert 0.5 * 2048 < avg < 2.0 * 2048
+
+
+def test_boundaries_are_content_defined():
+    """Inserting bytes near the front shifts boundaries only locally:
+    most chunks further in are identical (the CDC selling point)."""
+    base = random_bytes(300_000, seed=1)
+    shifted = b"INSERTED" + base
+    chunker = GearChunker(avg_size=1024)
+    chunks_a = {s.data for s in chunker.chunk(base)}
+    chunks_b = {s.data for s in chunker.chunk(shifted)}
+    common = len(chunks_a & chunks_b)
+    assert common / len(chunks_a) > 0.9
+
+
+def test_static_misses_shifted_duplicates_cdc_finds():
+    """The contrast that motivates CDC: under a byte shift, static
+    chunking finds almost no duplicate chunks."""
+    from repro.chunking import StaticChunker
+
+    base = random_bytes(300_000, seed=2)
+    shifted = b"X" + base
+    static = StaticChunker(1024)
+    a = {s.data for s in static.chunk(base)}
+    b = {s.data for s in static.chunk(shifted)}
+    assert len(a & b) / len(a) < 0.05
+
+
+def test_deterministic():
+    data = random_bytes(50_000, seed=3)
+    assert GearChunker(avg_size=512).chunk(data) == GearChunker(avg_size=512).chunk(data)
+
+
+def test_empty_payload():
+    assert GearChunker(avg_size=1024).chunk(b"") == []
+
+
+def test_invalid_params():
+    with pytest.raises(ValueError):
+        GearChunker(avg_size=1000)  # not a power of two
+    with pytest.raises(ValueError):
+        GearChunker(avg_size=32)  # too small
+    with pytest.raises(ValueError):
+        GearChunker(avg_size=1024, min_size=2048)  # min > avg
+
+
+@given(data=st.binary(max_size=20_000))
+@settings(max_examples=30, deadline=None)
+def test_cdc_tiles_any_payload(data):
+    chunker = GearChunker(avg_size=256)
+    validate_chunking(data, chunker.chunk(data))

@@ -1,0 +1,92 @@
+"""Tests for the Rabin-fingerprint chunker."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chunking import RabinChunker, validate_chunking
+from repro.chunking.rabin import _MOD_TABLE, _OUT_TABLE, _WINDOW_SIZE, _append_byte_raw
+
+
+def random_bytes(n, seed=0):
+    return random.Random(seed).randbytes(n)
+
+
+def rolling_fp(data: bytes) -> int:
+    """Reference: roll the fingerprint over all of ``data``."""
+    fp = 0
+    window = bytearray(_WINDOW_SIZE)
+    wpos = 0
+    for byte in data:
+        fp = _append_byte_raw(fp, byte, _MOD_TABLE) ^ _OUT_TABLE[window[wpos]]
+        window[wpos] = byte
+        wpos = (wpos + 1) % _WINDOW_SIZE
+    return fp
+
+
+def test_fingerprint_depends_only_on_window():
+    """The defining Rabin property: after >= window bytes, the rolling
+    fingerprint is a function of the last WINDOW_SIZE bytes only."""
+    suffix = random_bytes(_WINDOW_SIZE, seed=1)
+    a = random_bytes(500, seed=2) + suffix
+    b = random_bytes(123, seed=3) + suffix
+    assert rolling_fp(a) == rolling_fp(b)
+
+
+def test_fingerprint_differs_for_different_windows():
+    a = rolling_fp(random_bytes(200, seed=4))
+    b = rolling_fp(random_bytes(200, seed=5))
+    assert a != b
+
+
+def test_chunks_tile_payload():
+    data = random_bytes(120_000, seed=6)
+    chunker = RabinChunker(avg_size=1024)
+    validate_chunking(data, chunker.chunk(data))
+
+
+def test_respects_min_max():
+    data = random_bytes(200_000, seed=7)
+    chunker = RabinChunker(avg_size=1024)
+    spans = chunker.chunk(data)
+    for span in spans[:-1]:
+        assert chunker.min_size <= span.length <= chunker.max_size
+
+
+def test_average_near_target():
+    data = random_bytes(1_000_000, seed=8)
+    chunker = RabinChunker(avg_size=2048)
+    spans = chunker.chunk(data)
+    avg = sum(s.length for s in spans) / len(spans)
+    assert 0.4 * 2048 < avg < 2.5 * 2048
+
+
+def test_shift_resistance():
+    """Insertion early in the stream leaves later boundaries intact."""
+    base = random_bytes(300_000, seed=9)
+    chunker = RabinChunker(avg_size=1024)
+    a = {s.data for s in chunker.chunk(base)}
+    b = {s.data for s in chunker.chunk(b"INSERT" + base)}
+    assert len(a & b) / len(a) > 0.9
+
+
+def test_deterministic():
+    data = random_bytes(50_000, seed=10)
+    assert RabinChunker(avg_size=512).chunk(data) == RabinChunker(avg_size=512).chunk(data)
+
+
+def test_param_validation():
+    with pytest.raises(ValueError):
+        RabinChunker(avg_size=100)
+    with pytest.raises(ValueError):
+        RabinChunker(avg_size=1000)  # not a power of two
+    with pytest.raises(ValueError):
+        RabinChunker(avg_size=1024, min_size=4096)
+
+
+@given(data=st.binary(max_size=20_000))
+@settings(max_examples=20, deadline=None)
+def test_tiles_any_payload(data):
+    validate_chunking(data, RabinChunker(avg_size=512).chunk(data))

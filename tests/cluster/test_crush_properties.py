@@ -1,0 +1,93 @@
+"""Property-based tests for CRUSH placement invariants."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterMap, CrushMap
+
+
+def build_map(host_osds):
+    """host_osds: list of OSD counts per host."""
+    cmap = ClusterMap()
+    for h, count in enumerate(host_osds):
+        for _ in range(count):
+            cmap.add_osd(f"host{h}")
+    return cmap
+
+
+@given(
+    host_osds=st.lists(st.integers(min_value=1, max_value=4), min_size=2, max_size=6),
+    n=st.integers(min_value=1, max_value=3),
+    keys=st.lists(st.integers(min_value=0, max_value=10**9), min_size=1, max_size=30),
+)
+@settings(max_examples=60, deadline=None)
+def test_selection_invariants(host_osds, n, keys):
+    """For any topology: deterministic, distinct OSDs, host-distinct
+    while enough hosts exist."""
+    cmap = build_map(host_osds)
+    crush = CrushMap(cmap)
+    for key in keys:
+        osds = crush.select(key, n)
+        assert osds == crush.select(key, n)  # deterministic
+        assert len(osds) == min(n, sum(host_osds))
+        assert len(set(osds)) == len(osds)  # distinct devices
+        hosts = [cmap.osds[i].host for i in osds]
+        if len(host_osds) >= n:
+            assert len(set(hosts)) == len(hosts)  # distinct hosts
+
+
+@given(
+    out_victim=st.integers(min_value=0, max_value=11),
+    n=st.integers(min_value=1, max_value=2),
+)
+@settings(max_examples=40, deadline=None)
+def test_minimal_movement_on_out(out_victim, n):
+    """Marking one OSD out never moves PGs whose hosts were untouched."""
+    cmap = build_map([3, 3, 3, 3])
+    crush = CrushMap(cmap)
+    before = {pg: crush.map_pg(1, pg, n) for pg in range(150)}
+    victim_host = cmap.osds[out_victim].host
+    cmap.mark_out(out_victim)
+    for pg in range(150):
+        hosts_before = {cmap.osds[i].host for i in before[pg]}
+        after = crush.map_pg(1, pg, n)
+        assert out_victim not in after
+        if victim_host not in hosts_before:
+            assert after == before[pg]
+
+
+@given(seed=st.integers(min_value=0, max_value=1000))
+@settings(max_examples=20, deadline=None)
+def test_weight_increase_only_attracts(seed):
+    """Doubling one OSD's weight only pulls PGs toward it — placements
+    that did not involve its host stay identical (straw2's guarantee)."""
+    cmap = build_map([1, 1, 1, 1])
+    crush = CrushMap(cmap)
+    keys = [seed * 1000 + i for i in range(100)]
+    before = {k: crush.select(k, 2) for k in keys}
+    cmap.osds[0].weight = 2.0
+    cmap.epoch += 1
+    gained = lost = 0
+    for k in keys:
+        after = crush.select(k, 2)
+        if 0 in after and 0 not in before[k]:
+            gained += 1
+        if 0 in before[k] and 0 not in after:
+            lost += 1
+        if 0 not in before[k] and 0 not in after:
+            assert after == before[k]
+    assert lost == 0  # never repels
+
+
+def test_balance_tracks_weights():
+    """Long-run placement share is roughly weight-proportional."""
+    cmap = build_map([1, 1])
+    cmap.osds[0].weight = 3.0
+    cmap.epoch += 1
+    crush = CrushMap(cmap)
+    wins = Counter(crush.select(k, 1)[0] for k in range(4000))
+    ratio = wins[0] / wins[1]
+    assert 2.3 < ratio < 3.8

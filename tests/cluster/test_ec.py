@@ -1,0 +1,150 @@
+"""Tests for GF(256) arithmetic and the Reed-Solomon codec."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import GF256, ReedSolomon
+
+
+# ------------------------------------------------------------------ GF256
+
+
+def test_gf_mul_identity_and_zero():
+    for a in range(256):
+        assert GF256.mul(a, 1) == a
+        assert GF256.mul(a, 0) == 0
+
+
+def test_gf_mul_commutative():
+    for a in (3, 7, 91, 200, 255):
+        for b in (5, 11, 130, 254):
+            assert GF256.mul(a, b) == GF256.mul(b, a)
+
+
+def test_gf_inverse():
+    for a in range(1, 256):
+        assert GF256.mul(a, GF256.inv(a)) == 1
+
+
+def test_gf_inverse_of_zero_raises():
+    with pytest.raises(ZeroDivisionError):
+        GF256.inv(0)
+
+
+def test_gf_pow():
+    assert GF256.pow(2, 0) == 1
+    assert GF256.pow(0, 5) == 0
+    assert GF256.pow(2, 2) == GF256.mul(2, 2)
+    assert GF256.pow(3, 3) == GF256.mul(3, GF256.mul(3, 3))
+
+
+def test_gf_mat_inv_roundtrip():
+    m = [[1, 2, 3], [4, 5, 6], [7, 8, 10]]
+    inv = GF256.mat_inv(m)
+    identity = GF256.mat_mul(m, inv)
+    assert identity == [[1, 0, 0], [0, 1, 0], [0, 0, 1]]
+
+
+def test_gf_singular_matrix_raises():
+    with pytest.raises(ValueError):
+        GF256.mat_inv([[1, 2], [1, 2]])
+
+
+# ------------------------------------------------------------ ReedSolomon
+
+
+def test_encode_produces_k_plus_m_shards():
+    rs = ReedSolomon(k=2, m=1)
+    shards = rs.encode(b"abcdef")
+    assert len(shards) == 3
+    assert all(len(s) == 3 for s in shards)
+
+
+def test_systematic_data_shards_contain_payload():
+    rs = ReedSolomon(k=2, m=1)
+    shards = rs.encode(b"abcdef")
+    assert shards[0] + shards[1] == b"abcdef"
+
+
+def test_decode_with_all_shards():
+    rs = ReedSolomon(k=3, m=2)
+    data = bytes(range(100)) * 3
+    shards = rs.encode(data)
+    assert rs.decode(shards, len(data)) == data
+
+
+@pytest.mark.parametrize("lost", [[0], [1], [2], [0, 1], [0, 2], [1, 2], [3, 4], [0, 4]])
+def test_decode_with_any_two_losses(lost):
+    rs = ReedSolomon(k=3, m=2)
+    data = b"the quick brown fox jumps over the lazy dog" * 7
+    shards = list(rs.encode(data))
+    for i in lost:
+        shards[i] = None
+    assert rs.decode(shards, len(data)) == data
+
+
+def test_decode_too_many_losses_raises():
+    rs = ReedSolomon(k=2, m=1)
+    shards = list(rs.encode(b"hello"))
+    shards[0] = shards[1] = None
+    with pytest.raises(ValueError):
+        rs.decode(shards, 5)
+
+
+def test_decode_wrong_slot_count_raises():
+    rs = ReedSolomon(k=2, m=1)
+    with pytest.raises(ValueError):
+        rs.decode([b"x", b"y"], 2)
+
+
+def test_reconstruct_single_shard():
+    rs = ReedSolomon(k=2, m=2)
+    data = b"0123456789abcdef"
+    shards = list(rs.encode(data))
+    original = shards[2]
+    shards[2] = None
+    shards[3] = None
+    assert rs.reconstruct_shard(shards, 2, len(data)) == original
+
+
+def test_empty_payload():
+    rs = ReedSolomon(k=2, m=1)
+    shards = rs.encode(b"")
+    assert rs.decode(shards, 0) == b""
+
+
+def test_invalid_profile_rejected():
+    with pytest.raises(ValueError):
+        ReedSolomon(k=0, m=1)
+    with pytest.raises(ValueError):
+        ReedSolomon(k=200, m=100)
+
+
+@given(
+    data=st.binary(min_size=0, max_size=2048),
+    k=st.integers(min_value=1, max_value=6),
+    m=st.integers(min_value=0, max_value=4),
+)
+@settings(max_examples=60, deadline=None)
+def test_roundtrip_property(data, k, m):
+    """encode->decode is the identity for any payload and profile."""
+    rs = ReedSolomon(k=k, m=m)
+    assert rs.decode(rs.encode(data), len(data)) == data
+
+
+@given(
+    data=st.binary(min_size=1, max_size=512),
+    seed=st.integers(min_value=0, max_value=10**9),
+)
+@settings(max_examples=60, deadline=None)
+def test_any_k_subset_decodes(data, seed):
+    """Losing any m shards still decodes (MDS property)."""
+    import random
+
+    rs = ReedSolomon(k=3, m=2)
+    shards = list(rs.encode(data))
+    rng = random.Random(seed)
+    for i in rng.sample(range(5), 2):
+        shards[i] = None
+    assert rs.decode(shards, len(data)) == data

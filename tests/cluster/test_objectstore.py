@@ -1,0 +1,234 @@
+"""Tests for the per-OSD object store and atomic transactions."""
+
+import pytest
+
+from repro.cluster import (
+    NoSuchObject,
+    ObjectExists,
+    ObjectKey,
+    ObjectStore,
+    PER_OBJECT_OVERHEAD,
+    StoredObject,
+    Transaction,
+)
+
+
+def key(name="obj", pool=1, pg=0):
+    return ObjectKey(pool, pg, name)
+
+
+def test_write_full_and_read():
+    store = ObjectStore()
+    store.apply(Transaction().write_full(key(), b"hello"))
+    assert store.read(key()) == b"hello"
+    assert store.stat(key()) == 5
+
+
+def test_partial_write_within_object():
+    store = ObjectStore()
+    store.apply(Transaction().write_full(key(), b"aaaaaaaa"))
+    store.apply(Transaction().write(key(), 2, b"BB"))
+    assert store.read(key()) == b"aaBBaaaa"
+
+
+def test_partial_write_extends_object():
+    store = ObjectStore()
+    store.apply(Transaction().write(key(), 4, b"xy"))
+    assert store.read(key()) == b"\x00\x00\x00\x00xy"
+
+
+def test_read_offset_length_and_short_read():
+    store = ObjectStore()
+    store.apply(Transaction().write_full(key(), b"0123456789"))
+    assert store.read(key(), 2, 3) == b"234"
+    assert store.read(key(), 8, 100) == b"89"
+    assert store.read(key(), 3) == b"3456789"
+
+
+def test_truncate_shrinks_and_extends():
+    store = ObjectStore()
+    store.apply(Transaction().write_full(key(), b"0123456789"))
+    store.apply(Transaction().truncate(key(), 4))
+    assert store.read(key()) == b"0123"
+    store.apply(Transaction().truncate(key(), 6))
+    assert store.read(key()) == b"0123\x00\x00"
+
+
+def test_remove():
+    store = ObjectStore()
+    store.apply(Transaction().write_full(key(), b"x"))
+    store.apply(Transaction().remove(key()))
+    assert not store.exists(key())
+
+
+def test_remove_missing_raises_and_nothing_applied():
+    store = ObjectStore()
+    txn = Transaction().write_full(key("a"), b"data").remove(key("missing"))
+    with pytest.raises(NoSuchObject):
+        store.apply(txn)
+    # Atomicity: the earlier write did not happen either.
+    assert not store.exists(key("a"))
+
+
+def test_exclusive_create():
+    store = ObjectStore()
+    store.apply(Transaction().create(key(), exclusive=True))
+    with pytest.raises(ObjectExists):
+        store.apply(Transaction().create(key(), exclusive=True))
+    # Non-exclusive create of existing object is fine.
+    store.apply(Transaction().create(key()))
+
+
+def test_create_then_remove_in_one_txn():
+    store = ObjectStore()
+    txn = Transaction().write_full(key(), b"x").remove(key())
+    store.apply(txn)
+    assert not store.exists(key())
+
+
+def test_xattrs():
+    store = ObjectStore()
+    store.apply(
+        Transaction().write_full(key(), b"d").setxattr(key(), "chunkmap", b"\x01\x02")
+    )
+    assert store.getxattr(key(), "chunkmap") == b"\x01\x02"
+    store.apply(Transaction().rmxattr(key(), "chunkmap"))
+    with pytest.raises(KeyError):
+        store.getxattr(key(), "chunkmap")
+
+
+def test_rmxattr_missing_raises():
+    store = ObjectStore()
+    store.apply(Transaction().write_full(key(), b"d"))
+    with pytest.raises(KeyError):
+        store.apply(Transaction().rmxattr(key(), "nope"))
+
+
+def test_setxattr_then_rmxattr_same_txn():
+    store = ObjectStore()
+    store.apply(
+        Transaction()
+        .write_full(key(), b"d")
+        .setxattr(key(), "tmp", b"v")
+        .rmxattr(key(), "tmp")
+    )
+    with pytest.raises(KeyError):
+        store.getxattr(key(), "tmp")
+
+
+def test_omap_set_get_rm():
+    store = ObjectStore()
+    store.apply(Transaction().omap_set(key(), {"k1": b"v1", "k2": b"v2"}))
+    assert store.omap_get(key(), "k1") == b"v1"
+    store.apply(Transaction().omap_rm(key(), ["k1", "missing-is-ok"]))
+    with pytest.raises(KeyError):
+        store.omap_get(key(), "k1")
+    assert store.omap_get(key(), "k2") == b"v2"
+
+
+def test_footprint_accounting():
+    store = ObjectStore()
+    store.apply(
+        Transaction()
+        .write_full(key(), b"x" * 100)
+        .setxattr(key(), "a", b"y" * 10)
+        .omap_set(key(), {"k": b"z" * 5})
+    )
+    expected = PER_OBJECT_OVERHEAD + 100 + (1 + 10) + (1 + 5)
+    assert store.used_bytes() == expected
+    assert store.data_bytes() == 100
+
+
+def test_keys_in_pg():
+    store = ObjectStore()
+    store.apply(Transaction().write_full(ObjectKey(1, 3, "a"), b"1"))
+    store.apply(Transaction().write_full(ObjectKey(1, 4, "b"), b"2"))
+    store.apply(Transaction().write_full(ObjectKey(2, 3, "c"), b"3"))
+    assert store.keys_in_pg(1, 3) == [ObjectKey(1, 3, "a")]
+    assert len(store) == 3
+
+
+def test_io_bytes_costing():
+    txn = (
+        Transaction()
+        .write_full(key(), b"x" * 100)
+        .write(key(), 0, b"y" * 50)
+        .setxattr(key(), "a", b"z" * 10)
+        .remove(key())
+    )
+    assert txn.io_bytes == 100 + 50 + 10 + 64
+
+
+def test_clone_is_deep():
+    obj = StoredObject(data=bytearray(b"abc"), xattrs={"k": b"v"})
+    clone = obj.clone()
+    clone.data[0] = ord("z")
+    clone.xattrs["k"] = b"w"
+    assert obj.data == bytearray(b"abc")
+    assert obj.xattrs["k"] == b"v"
+
+
+def test_negative_offset_rejected():
+    with pytest.raises(ValueError):
+        Transaction().write(key(), -1, b"x")
+    with pytest.raises(ValueError):
+        Transaction().truncate(key(), -5)
+
+
+def test_zero_punches_hole():
+    store = ObjectStore()
+    store.apply(Transaction().write_full(key(), b"x" * 100))
+    store.apply(Transaction().zero(key(), 20, 30))
+    assert store.read(key(), 20, 30) == b"\x00" * 30
+    assert store.stat(key()) == 100  # length unchanged
+    obj = store.get(key())
+    assert obj.allocated_bytes() == 70
+    assert store.used_bytes() == PER_OBJECT_OVERHEAD + 70
+
+
+def test_write_into_hole_reallocates():
+    store = ObjectStore()
+    store.apply(Transaction().write_full(key(), b"x" * 100))
+    store.apply(Transaction().zero(key(), 0, 50))
+    store.apply(Transaction().write(key(), 10, b"y" * 20))
+    obj = store.get(key())
+    assert obj.allocated_bytes() == 70  # 50 + re-filled 20
+    assert store.read(key(), 10, 20) == b"y" * 20
+    assert store.read(key(), 0, 10) == b"\x00" * 10
+
+
+def test_write_full_clears_holes():
+    store = ObjectStore()
+    store.apply(Transaction().write_full(key(), b"x" * 100))
+    store.apply(Transaction().zero(key(), 0, 100))
+    store.apply(Transaction().write_full(key(), b"z" * 40))
+    assert store.get(key()).allocated_bytes() == 40
+
+
+def test_zero_beyond_eof_clamped():
+    store = ObjectStore()
+    store.apply(Transaction().write_full(key(), b"x" * 10))
+    store.apply(Transaction().zero(key(), 5, 100))
+    assert store.get(key()).allocated_bytes() == 5
+    assert store.stat(key()) == 10
+
+
+def test_truncate_clips_holes():
+    store = ObjectStore()
+    store.apply(Transaction().write_full(key(), b"x" * 100))
+    store.apply(Transaction().zero(key(), 50, 100))
+    store.apply(Transaction().truncate(key(), 60))
+    assert store.get(key()).allocated_bytes() == 50
+
+
+def test_zero_invalid_range():
+    with pytest.raises(ValueError):
+        Transaction().zero(key(), -1, 5)
+
+
+def test_clone_preserves_holes():
+    store = ObjectStore()
+    store.apply(Transaction().write_full(key(), b"x" * 100))
+    store.apply(Transaction().zero(key(), 0, 40))
+    clone = store.get(key()).clone()
+    assert clone.allocated_bytes() == 60

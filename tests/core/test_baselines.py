@@ -1,0 +1,119 @@
+"""Tests for the baselines: local-dedup analysis and inline dedup."""
+
+import random
+
+import pytest
+
+from repro.cluster import RadosCluster, Replicated
+from repro.core import DedupConfig, InlineDedupStorage, analyze_dedup_potential
+from repro.fingerprint import fingerprint
+
+
+def test_global_beats_local_on_cross_node_duplicates():
+    """Duplicates spread across OSDs: global dedup sees them, per-OSD
+    local dedup mostly does not (the Figure 3 effect)."""
+    cluster = RadosCluster(num_hosts=4, osds_per_host=4, pg_num=64)
+    pool = cluster.create_pool("data", Replicated(2))
+    # 50% dedupable: every block repeated once, spread over many objects.
+    rng = random.Random(0)
+    blocks = [rng.randbytes(4096) for _ in range(100)]
+    for i in range(200):
+        cluster.write_full_sync(pool, f"obj{i}", blocks[i % 100])
+    result = analyze_dedup_potential(cluster, pool, chunk_size=4096)
+    assert result.global_ratio == pytest.approx(0.5)
+    assert result.local_ratio < 0.25  # most duplicate pairs split across OSDs
+    assert result.total_bytes == 200 * 4096
+
+
+def test_local_ratio_drops_as_osds_grow():
+    """Table 1: more OSDs -> lower local dedup ratio; global constant."""
+
+    def local_ratio(num_hosts, osds_per_host):
+        cluster = RadosCluster(
+            num_hosts=num_hosts, osds_per_host=osds_per_host, pg_num=64
+        )
+        pool = cluster.create_pool("data", Replicated(2))
+        rng = random.Random(1)
+        blocks = [rng.randbytes(4096) for _ in range(60)]
+        for i in range(120):
+            cluster.write_full_sync(pool, f"o{i}", blocks[i % 60])
+        r = analyze_dedup_potential(cluster, pool, chunk_size=4096)
+        assert r.global_ratio == pytest.approx(0.5)
+        return r.local_ratio
+
+    assert local_ratio(4, 1) > local_ratio(4, 4)
+
+
+def test_analyzer_counts_unique_data_once_per_osd():
+    cluster = RadosCluster(num_hosts=2, osds_per_host=1, pg_num=16)
+    pool = cluster.create_pool("data", Replicated(2))
+    cluster.write_full_sync(pool, "a", b"\x01" * 4096)
+    result = analyze_dedup_potential(cluster, pool, chunk_size=4096)
+    assert result.total_bytes == 4096  # replica copies excluded
+    assert result.global_unique_bytes == 4096
+    assert result.global_ratio == 0.0
+
+
+def test_empty_pool():
+    cluster = RadosCluster(num_hosts=2, osds_per_host=1, pg_num=16)
+    pool = cluster.create_pool("data", Replicated(2))
+    result = analyze_dedup_potential(cluster, pool, chunk_size=4096)
+    assert result.global_ratio == 0.0
+    assert result.local_ratio == 0.0
+
+
+# ------------------------------------------------------------------ inline
+
+
+@pytest.fixture
+def inline():
+    cluster = RadosCluster(num_hosts=4, osds_per_host=2, pg_num=32)
+    return InlineDedupStorage(cluster, DedupConfig(chunk_size=1024))
+
+
+def test_inline_roundtrip(inline):
+    data = bytes(range(256)) * 10
+    inline.write_sync("obj1", data)
+    assert inline.read_sync("obj1") == data
+
+
+def test_inline_dedups_immediately(inline):
+    inline.write_sync("a", b"dup" * 400)
+    inline.write_sync("b", b"dup" * 400)
+    report = inline.space_report()
+    assert report.chunk_data_bytes == 1200  # stored once
+    assert report.logical_bytes == 2400
+    assert report.cached_data_bytes == 0  # nothing cached inline
+
+
+def test_inline_partial_write_rmw(inline):
+    inline.write_sync("obj1", b"a" * 2048)
+    inline.write_sync("obj1", b"MOD", offset=100)
+    got = inline.read_sync("obj1")
+    assert got[:100] == b"a" * 100
+    assert got[100:103] == b"MOD"
+    assert got[103:] == b"a" * 1945
+
+
+def test_inline_partial_write_slower_than_full(inline):
+    """Figure 5-(a): sub-chunk writes pay a read-modify-write."""
+    inline.write_sync("obj1", b"a" * 1024)
+    t0 = inline.cluster.sim.now
+    inline.write_sync("obj1", b"b" * 1024)  # full chunk: no RMW
+    full_t = inline.cluster.sim.now - t0
+    t0 = inline.cluster.sim.now
+    inline.write_sync("obj1", b"c" * 512)  # half chunk: RMW
+    partial_t = inline.cluster.sim.now - t0
+    assert partial_t > full_t
+
+
+def test_inline_overwrite_derefs(inline):
+    inline.write_sync("obj1", b"1" * 1024)
+    old_fp = fingerprint(b"1" * 1024)
+    inline.write_sync("obj1", b"2" * 1024)
+    assert not inline.cluster.exists(inline.tier.chunk_pool, old_fp)
+
+
+def test_inline_empty_write_noop(inline):
+    inline.write_sync("obj1", b"")
+    assert inline.cluster.list_objects(inline.tier.metadata_pool) == []

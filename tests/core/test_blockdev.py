@@ -1,0 +1,113 @@
+"""Tests for the block-device view (RBD-style striping)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import RadosCluster
+from repro.core import DedupConfig, DedupedStorage, PlainStorage
+from repro.core.blockdev import BlockDevice
+
+KiB = 1024
+
+
+def make_device(dedup=True, size=64 * KiB, object_size=16 * KiB):
+    cluster = RadosCluster(num_hosts=4, osds_per_host=2, pg_num=32)
+    if dedup:
+        storage = DedupedStorage(
+            cluster, DedupConfig(chunk_size=4 * KiB), start_engine=False
+        )
+    else:
+        storage = PlainStorage(cluster)
+    return BlockDevice(storage, size=size, object_size=object_size)
+
+
+def test_write_read_within_object():
+    dev = make_device()
+    dev.write_sync(100, b"hello block device")
+    assert dev.read_sync(100, 18) == b"hello block device"
+
+
+def test_write_spanning_objects():
+    dev = make_device()
+    data = bytes(range(256)) * 128  # 32 KiB spans two 16 KiB objects
+    dev.write_sync(8 * KiB, data)
+    assert dev.read_sync(8 * KiB, len(data)) == data
+    # The objects exist with the right names.
+    objects = dev.storage.cluster.list_objects(dev.storage.tier.metadata_pool)
+    assert "rbd.0" in objects and "rbd.1" in objects and "rbd.2" in objects
+
+
+def test_unwritten_reads_zeros():
+    dev = make_device()
+    assert dev.read_sync(0, 1000) == b"\x00" * 1000
+    dev.write_sync(50 * KiB, b"tail")
+    got = dev.read_sync(49 * KiB, 2 * KiB)
+    assert got[: 1 * KiB] == b"\x00" * KiB
+    assert got[1 * KiB : 1 * KiB + 4] == b"tail"
+
+
+def test_out_of_range_rejected():
+    dev = make_device(size=16 * KiB)
+    with pytest.raises(ValueError):
+        dev.write_sync(16 * KiB - 2, b"xxx")
+    with pytest.raises(ValueError):
+        dev.read_sync(-1, 10)
+
+
+def test_device_content_dedups():
+    dev = make_device()
+    block = b"D" * (4 * KiB)
+    for i in range(8):
+        dev.write_sync(i * 4 * KiB, block)
+    dev.storage.drain()
+    report = dev.storage.space_report()
+    assert report.chunk_objects == 1  # all device blocks share one chunk
+
+
+def test_discard_reclaims_whole_objects():
+    dev = make_device()
+    dev.write_sync(0, b"x" * (48 * KiB))  # objects 0,1,2
+    dev.storage.drain()
+    dev.discard_sync(16 * KiB, 16 * KiB)  # exactly object 1
+    assert dev.read_sync(16 * KiB, 16 * KiB) == b"\x00" * (16 * KiB)
+    assert dev.read_sync(0, 4) == b"xxxx"  # object 0 untouched
+    objects = dev.storage.cluster.list_objects(dev.storage.tier.metadata_pool)
+    assert "rbd.1" not in objects
+
+
+def test_discard_partial_objects_noop():
+    dev = make_device()
+    dev.write_sync(0, b"y" * (16 * KiB))
+    dev.discard_sync(1 * KiB, 2 * KiB)  # inside object 0: no-op
+    assert dev.read_sync(0, 16 * KiB) == b"y" * (16 * KiB)
+
+
+def test_works_over_plain_storage_too():
+    dev = make_device(dedup=False)
+    dev.write_sync(10 * KiB, b"plain" * 100)
+    assert dev.read_sync(10 * KiB, 500) == b"plain" * 100
+
+
+@given(
+    writes=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=60 * KiB),
+            st.binary(min_size=1, max_size=6 * KiB),
+        ),
+        min_size=1,
+        max_size=10,
+    )
+)
+@settings(max_examples=25, deadline=None)
+def test_device_matches_flat_buffer(writes):
+    dev = make_device()
+    model = bytearray(64 * KiB)
+    for offset, data in writes:
+        data = data[: 64 * KiB - offset]
+        if not data:
+            continue
+        dev.write_sync(offset, data)
+        model[offset : offset + len(data)] = data
+    dev.storage.drain()
+    assert dev.read_sync(0, 64 * KiB) == bytes(model)

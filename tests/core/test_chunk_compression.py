@@ -1,0 +1,107 @@
+"""Tests for tier-level chunk compression (compress_chunks)."""
+
+import pytest
+
+from repro.cluster import RadosCluster
+from repro.core import DedupConfig, DedupedStorage
+from repro.core.scrub import scrub_sync
+from repro.core.tier import CHUNK_ENCODING_XATTR
+from repro.fingerprint import fingerprint
+from repro.sim import RngRegistry
+
+
+def make_storage(**overrides):
+    defaults = dict(chunk_size=4096, compress_chunks=True, dedup_interval=0.01)
+    defaults.update(overrides)
+    cluster = RadosCluster(num_hosts=4, osds_per_host=2, pg_num=32)
+    return DedupedStorage(cluster, DedupConfig(**defaults), start_engine=False)
+
+
+COMPRESSIBLE = (b"compressible pattern! " * 400)[:4096]
+
+
+def stored_chunk_bytes(storage, chunk_id):
+    key = storage.cluster.object_key(storage.tier.chunk_pool, chunk_id)
+    osd = next(o for o in storage.cluster.osds.values() if o.store.exists(key))
+    return bytes(osd.store.get(key).data), osd.store.get(key).xattrs.get(
+        CHUNK_ENCODING_XATTR
+    )
+
+
+def test_compressible_chunk_stored_smaller():
+    storage = make_storage()
+    storage.write_sync("obj1", COMPRESSIBLE)
+    storage.drain()
+    fp = fingerprint(COMPRESSIBLE)
+    blob, encoding = stored_chunk_bytes(storage, fp)
+    assert encoding == b"zlib"
+    assert len(blob) < len(COMPRESSIBLE) / 2
+    # The chunk ID is the fingerprint of the *uncompressed* content.
+    assert storage.read_sync("obj1") == COMPRESSIBLE
+
+
+def test_incompressible_chunk_stored_raw():
+    storage = make_storage()
+    data = RngRegistry(3).stream("rnd").randbytes(4096)
+    storage.write_sync("obj1", data)
+    storage.drain()
+    blob, encoding = stored_chunk_bytes(storage, fingerprint(data))
+    assert encoding == b"raw"
+    assert blob == data
+    assert storage.read_sync("obj1") == data
+
+
+def test_offset_reads_decompress_correctly():
+    storage = make_storage()
+    storage.write_sync("obj1", COMPRESSIBLE * 3)  # 3 chunks
+    storage.drain()
+    for offset, length in ((0, 100), (5000, 300), (4000, 4200), (12000, 500)):
+        expected = (COMPRESSIBLE * 3)[offset : offset + length]
+        assert storage.read_sync("obj1", offset=offset, length=length) == expected
+
+
+def test_dedup_still_works_with_compression():
+    storage = make_storage()
+    for i in range(6):
+        storage.write_sync(f"obj{i}", COMPRESSIBLE)
+    storage.drain()
+    report = storage.space_report()
+    assert report.chunk_objects == 1
+    # Stored bytes benefit from both dedup and compression.
+    assert report.chunk_data_bytes < len(COMPRESSIBLE) / 2
+    assert report.logical_bytes == 6 * len(COMPRESSIBLE)
+
+
+def test_partial_write_merge_with_compressed_old_chunk():
+    storage = make_storage()
+    storage.write_sync("obj1", COMPRESSIBLE)
+    storage.drain()
+    storage.write_sync("obj1", b"PATCH", offset=2000)  # deferred RMW
+    storage.drain()
+    expected = bytearray(COMPRESSIBLE)
+    expected[2000:2005] = b"PATCH"
+    assert storage.read_sync("obj1") == bytes(expected)
+
+
+def test_scrub_verifies_logical_content():
+    storage = make_storage()
+    for i in range(4):
+        storage.write_sync(f"obj{i}", COMPRESSIBLE[: 2048 + i * 100])
+    storage.drain()
+    assert scrub_sync(storage.tier).clean
+
+
+def test_compression_saves_space_vs_uncompressed_tier():
+    def stored(compress):
+        storage = make_storage(compress_chunks=compress)
+        for i in range(4):
+            storage.write_sync(f"o{i}", COMPRESSIBLE[:4096] + bytes([i]) * 4096)
+        storage.drain()
+        return storage.space_report().chunk_data_bytes
+
+    assert stored(True) < 0.7 * stored(False)
+
+
+def test_compress_level_validation():
+    with pytest.raises(ValueError):
+        DedupConfig(compress_level=10)

@@ -1,0 +1,244 @@
+"""Tests for the post-processing dedup engine."""
+
+import pytest
+
+from repro.cluster import RadosCluster
+from repro.core import DedupConfig, DedupedStorage
+from repro.fingerprint import fingerprint
+
+
+def make_storage(**config_overrides):
+    defaults = dict(chunk_size=1024, dedup_interval=0.01, hitset_period=0.5)
+    defaults.update(config_overrides)
+    cluster = RadosCluster(num_hosts=4, osds_per_host=2, pg_num=32)
+    return DedupedStorage(cluster, DedupConfig(**defaults), start_engine=False)
+
+
+def test_flush_moves_chunk_to_chunk_pool():
+    storage = make_storage()
+    storage.write_sync("obj1", b"a" * 1024)
+    storage.drain()
+    fp = fingerprint(b"a" * 1024)
+    assert storage.cluster.exists(storage.tier.chunk_pool, fp)
+    cmap = storage.tier.peek_chunk_map("obj1")
+    entry = cmap.get(0)
+    assert entry.chunk_id == fp
+    assert not entry.dirty
+    assert storage.read_sync("obj1") == b"a" * 1024
+
+
+def test_duplicate_chunks_stored_once():
+    storage = make_storage()
+    for i in range(10):
+        storage.write_sync(f"obj{i}", b"same-content" * 100)  # 1200 bytes
+    storage.drain()
+    report = storage.space_report()
+    assert report.logical_bytes == 12000
+    # Two unique chunks (1024 split + 176 tail) regardless of 10 copies.
+    assert report.chunk_objects == 2
+    assert report.chunk_data_bytes == 1200
+    assert report.ideal_dedup_ratio == pytest.approx(0.9)
+
+
+def test_refcount_tracks_all_referrers():
+    storage = make_storage()
+    for i in range(5):
+        storage.write_sync(f"obj{i}", b"x" * 1024)
+    storage.drain()
+    fp = fingerprint(b"x" * 1024)
+    assert storage.tier.chunk_refcount(fp) == 5
+
+
+def test_overwrite_derefs_old_chunk():
+    storage = make_storage()
+    storage.write_sync("obj1", b"old-content" + b"\x00" * 1013)
+    storage.drain()
+    old_fp = fingerprint(b"old-content" + b"\x00" * 1013)
+    assert storage.cluster.exists(storage.tier.chunk_pool, old_fp)
+    storage.write_sync("obj1", b"new-content" + b"\xff" * 1013)
+    storage.drain()
+    # Sole referrer moved away: old chunk object is gone.
+    assert not storage.cluster.exists(storage.tier.chunk_pool, old_fp)
+    new_fp = fingerprint(b"new-content" + b"\xff" * 1013)
+    assert storage.cluster.exists(storage.tier.chunk_pool, new_fp)
+
+
+def test_shared_chunk_survives_one_dereference():
+    storage = make_storage()
+    storage.write_sync("obj1", b"s" * 1024)
+    storage.write_sync("obj2", b"s" * 1024)
+    storage.drain()
+    fp = fingerprint(b"s" * 1024)
+    storage.write_sync("obj1", b"t" * 1024)
+    storage.drain()
+    assert storage.cluster.exists(storage.tier.chunk_pool, fp)
+    assert storage.tier.chunk_refcount(fp) == 1
+    assert storage.read_sync("obj2") == b"s" * 1024
+
+
+def test_rewrite_same_content_is_stable():
+    storage = make_storage()
+    storage.write_sync("obj1", b"same" * 256)
+    storage.drain()
+    fp = fingerprint(b"same" * 256)
+    storage.write_sync("obj1", b"same" * 256)
+    storage.drain()
+    assert storage.tier.chunk_refcount(fp) == 1
+    assert storage.read_sync("obj1") == b"same" * 256
+
+
+def test_cold_object_evicted_after_flush():
+    storage = make_storage()
+    storage.write_sync("obj1", b"c" * 2048)
+    storage.drain()
+    cmap = storage.tier.peek_chunk_map("obj1")
+    assert all(not e.cached for e in cmap)
+    # Data part is punched out: allocated bytes ~ 0.
+    key = storage.tier.metadata_key("obj1")
+    holder = next(
+        o for o in storage.cluster.osds.values() if o.store.exists(key)
+    )
+    assert holder.store.get(key).allocated_bytes() == 0
+    # Reads still work (redirected to the chunk pool).
+    assert storage.read_sync("obj1") == b"c" * 2048
+
+
+def test_hot_object_stays_cached():
+    storage = make_storage(hit_count_threshold=2, hitset_period=0.1)
+    storage.write_sync("hot", b"h" * 1024)
+    storage.sim.run(until=storage.sim.now + 0.2)
+    storage.read_sync("hot")  # second period access -> hot
+    # Engine pass (not forced): should skip the hot object entirely.
+    result = storage.cluster.run(
+        storage.engine.process_object("hot", force=False)
+    )
+    assert result == "skipped_hot"
+    assert storage.engine.stats.objects_skipped_hot == 1
+    cmap = storage.tier.peek_chunk_map("hot")
+    assert cmap.get(0).dirty  # untouched
+
+
+def test_hot_object_flushed_but_kept_cached_when_forced():
+    storage = make_storage(hit_count_threshold=2, hitset_period=0.1)
+    storage.write_sync("hot", b"h" * 1024)
+    storage.sim.run(until=storage.sim.now + 0.2)
+    storage.read_sync("hot")
+    storage.cluster.run(storage.engine.process_object("hot", force=True))
+    cmap = storage.tier.peek_chunk_map("hot")
+    entry = cmap.get(0)
+    assert not entry.dirty
+    assert entry.cached  # hot -> stays cached after flush
+    assert entry.chunk_id == fingerprint(b"h" * 1024)
+
+
+def test_background_engine_drains_on_its_own():
+    storage = make_storage()
+    storage.engine.start()
+    for i in range(5):
+        storage.cluster.run(storage.write(f"obj{i}", b"bg" * 512))
+    storage.sim.run(until=storage.sim.now + 10.0)
+    assert storage.tier.dirty_count == 0
+    assert storage.engine.stats.objects_processed == 5
+    storage.engine.stop()
+
+
+def test_engine_start_stop_idempotent():
+    storage = make_storage()
+    storage.engine.start()
+    storage.engine.start()
+    assert storage.engine.running
+    storage.engine.stop()
+    storage.sim.run(until=storage.sim.now + 1.0)
+    assert not storage.engine.running
+
+
+def test_race_with_foreground_write_aborts_cleanly():
+    """A write landing mid-dedup-pass must not lose data or leak refs."""
+    storage = make_storage()
+    storage.write_sync("obj1", b"v1" * 512)
+
+    def racer():
+        # Start the dedup pass and a foreground write concurrently.
+        pass_proc = storage.sim.process(
+            storage.engine.process_object("obj1", force=True)
+        )
+        write_proc = storage.sim.process(storage.write("obj1", b"v2" * 512))
+        yield storage.sim.all_of([pass_proc, write_proc])
+        return pass_proc.value
+
+    result = storage.cluster.run(racer())
+    if result == "raced":
+        assert storage.engine.stats.objects_aborted_race == 1
+        assert storage.tier.dirty_count >= 1
+    storage.drain()
+    assert storage.read_sync("obj1") == b"v2" * 512
+    # No leaked chunk objects: only the live content's chunk remains.
+    chunks = storage.cluster.list_objects(storage.tier.chunk_pool)
+    assert chunks == [fingerprint(b"v2" * 512)]
+
+
+def test_false_positive_refcount_defers_deref():
+    storage = make_storage(refcount_mode="false_positive")
+    storage.write_sync("obj1", b"A" * 1024)
+    storage.drain()
+    old_fp = fingerprint(b"A" * 1024)
+    storage.write_sync("obj1", b"B" * 1024)
+    storage.engine.tier.cluster.run(
+        storage.engine.process_object("obj1", force=True)
+    )
+    # Deref was deferred: the dead chunk still exists (false positive).
+    assert storage.cluster.exists(storage.tier.chunk_pool, old_fp)
+    assert storage.engine.refcount.pending == 1
+    # GC collects it.
+    storage.drain()  # drain runs gc
+    assert not storage.cluster.exists(storage.tier.chunk_pool, old_fp)
+    assert storage.engine.refcount.pending == 0
+
+
+def test_dirty_list_rebuild_from_chunk_maps():
+    storage = make_storage()
+    storage.write_sync("obj1", b"1" * 1024)
+    storage.write_sync("obj2", b"2" * 1024)
+    storage.drain()
+    storage.write_sync("obj3", b"3" * 1024)
+    # Simulate a restart: volatile dirty list lost.
+    storage.tier._dirty_queue.clear()
+    storage.tier._dirty_set.clear()
+    found = storage.tier.rebuild_dirty_list()
+    assert found == 1
+    assert storage.tier.next_dirty() == "obj3"
+
+
+def test_cache_capacity_enforced_by_demotion():
+    storage = make_storage(
+        cache_capacity_bytes=2048,
+        hit_count_threshold=1,  # everything counts as hot -> stays cached
+        hitset_period=10.0,
+    )
+    for i in range(6):
+        storage.write_sync(f"obj{i}", bytes([i]) * 1024)
+    storage.drain()
+    assert storage.tier.cache.cached_bytes <= 2048
+    assert storage.engine.stats.chunks_evicted >= 4
+    # Every object still reads back correctly (demoted ones via chunk pool).
+    for i in range(6):
+        assert storage.read_sync(f"obj{i}") == bytes([i]) * 1024
+
+
+def test_engine_stats_accumulate():
+    storage = make_storage()
+    storage.write_sync("a", b"unique-a" * 128)
+    storage.write_sync("b", b"unique-b" * 128)
+    storage.write_sync("c", b"unique-a" * 128)  # dup of a
+    storage.drain()
+    stats = storage.engine.stats
+    assert stats.objects_processed == 3
+    assert stats.chunks_flushed == 2
+    assert stats.chunks_deduped == 1
+    assert stats.bytes_deduped == 1024
+
+
+def test_missing_object_is_handled():
+    storage = make_storage()
+    result = storage.cluster.run(storage.engine.process_object("ghost"))
+    assert result == "missing"

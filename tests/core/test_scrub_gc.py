@@ -1,0 +1,131 @@
+"""Tests for scrub (integrity verification) and offline GC."""
+
+import pytest
+
+from repro.cluster import RadosCluster, Transaction
+from repro.core import DedupConfig, DedupedStorage
+from repro.core.objects import ChunkRef, RefSet, REFS_XATTR
+from repro.core.scrub import collect_garbage_sync, scrub_sync
+from repro.fingerprint import fingerprint
+
+
+def make_storage(**overrides):
+    defaults = dict(chunk_size=1024, dedup_interval=0.01)
+    defaults.update(overrides)
+    cluster = RadosCluster(num_hosts=4, osds_per_host=2, pg_num=32)
+    return DedupedStorage(cluster, DedupConfig(**defaults), start_engine=False)
+
+
+def populated():
+    storage = make_storage()
+    for i in range(8):
+        storage.write_sync(f"obj{i}", bytes([i % 4]) * 2000)  # 4 dup pairs
+    storage.drain()
+    return storage
+
+
+def test_scrub_clean_system():
+    storage = populated()
+    report = scrub_sync(storage.tier)
+    assert report.clean
+    assert report.chunks_checked == 8  # 4 contents x 2 chunks
+
+
+def test_scrub_detects_corrupt_chunk():
+    storage = populated()
+    chunk_id = storage.cluster.list_objects(storage.tier.chunk_pool)[0]
+    key = storage.cluster.object_key(storage.tier.chunk_pool, chunk_id)
+    for osd in storage.cluster.osds.values():
+        if osd.store.exists(key):
+            osd.store.get(key).data[0] ^= 0xFF  # bit rot
+    report = scrub_sync(storage.tier)
+    assert report.corrupt_chunks == [chunk_id]
+
+
+def test_scrub_detects_dangling_map_entry():
+    storage = populated()
+    victim = storage.tier.peek_chunk_map("obj0").get(0).chunk_id
+    storage.cluster.remove_sync(storage.tier.chunk_pool, victim)
+    report = scrub_sync(storage.tier)
+    assert any(oid.startswith("obj") for oid, _off in report.dangling_map_entries)
+
+
+def test_scrub_detects_stale_reference():
+    storage = populated()
+    chunk_id = storage.cluster.list_objects(storage.tier.chunk_pool)[0]
+    refs = storage.tier._load_refs(chunk_id)
+    refs.add(ChunkRef(storage.tier.metadata_pool.pool_id, "ghost-object", 0))
+    key = storage.cluster.object_key(storage.tier.chunk_pool, chunk_id)
+    storage.cluster.submit_sync(
+        storage.tier.chunk_pool,
+        chunk_id,
+        Transaction().setxattr(key, REFS_XATTR, refs.serialize()),
+    )
+    report = scrub_sync(storage.tier)
+    assert len(report.stale_references) == 1
+    assert report.stale_references[0][1].source_oid == "ghost-object"
+
+
+def test_gc_clean_system_is_noop():
+    storage = populated()
+    before = storage.space_report()
+    report = collect_garbage_sync(storage.tier)
+    assert report.references_dropped == 0
+    assert report.chunks_removed == 0
+    assert storage.space_report().stored_bytes == before.stored_bytes
+
+
+def test_gc_reclaims_leaked_chunks_after_crash():
+    """A crash in false-positive refcount mode loses the in-memory deref
+    queue; offline GC recovers the space from the persisted maps."""
+    storage = make_storage(refcount_mode="false_positive")
+    storage.write_sync("obj1", b"OLD" * 400)
+    storage.drain()
+    old_fps = {e.chunk_id for e in storage.tier.peek_chunk_map("obj1")}
+    storage.write_sync("obj1", b"NEW" * 400)
+    storage.cluster.run(storage.engine.drain(run_gc=False))  # flush, no GC
+    # Simulate the crash: the queued dereferences vanish.
+    storage.engine.refcount._queue.clear()
+    for fp in old_fps:
+        assert storage.cluster.exists(storage.tier.chunk_pool, fp)  # leaked
+    report = collect_garbage_sync(storage.tier)
+    assert report.chunks_removed == len(old_fps)
+    assert report.bytes_reclaimed == 1200
+    for fp in old_fps:
+        assert not storage.cluster.exists(storage.tier.chunk_pool, fp)
+    # Live data untouched.
+    assert storage.read_sync("obj1") == b"NEW" * 400
+    assert scrub_sync(storage.tier).clean
+
+
+def test_gc_drops_stale_ref_but_keeps_shared_chunk():
+    storage = make_storage(refcount_mode="false_positive")
+    storage.write_sync("keep", b"S" * 1024)
+    storage.write_sync("move", b"S" * 1024)  # same chunk, two refs
+    storage.drain()
+    fp = fingerprint(b"S" * 1024)
+    storage.write_sync("move", b"T" * 1024)
+    storage.cluster.run(storage.engine.drain(run_gc=False))
+    storage.engine.refcount._queue.clear()  # crash
+    assert storage.tier.chunk_refcount(fp) == 2  # one ref is stale
+    report = collect_garbage_sync(storage.tier)
+    assert report.references_dropped == 1
+    assert report.chunks_removed == 0
+    assert storage.tier.chunk_refcount(fp) == 1
+    assert storage.read_sync("keep") == b"S" * 1024
+
+
+def test_gc_skips_dirty_objects_chunks():
+    """Chunks referenced by still-dirty maps are in flux; GC must not
+    touch chunks their (old) entries reference."""
+    storage = populated()
+    storage.write_sync("obj0", b"fresh" * 300)  # dirty again (1500 of 2000 B)
+    report = collect_garbage_sync(storage.tier)
+    # The old chunks of obj0 are still referenced by its (dirty) map
+    # entries, so nothing was removed that a re-flush might need; the
+    # overwrite's prefix and the surviving old tail both read correctly.
+    got = storage.read_sync("obj0")
+    assert got[:1500] == b"fresh" * 300
+    assert got[1500:] == bytes([0]) * 500
+    storage.drain()
+    assert scrub_sync(storage.tier).clean

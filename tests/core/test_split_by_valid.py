@@ -1,0 +1,62 @@
+"""Property tests for the read path's valid-range splitter."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.io_path import _split_by_valid
+from repro.core.objects import merge_ranges
+
+
+ranges_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=100),
+        st.integers(min_value=0, max_value=100),
+    ).map(lambda t: (min(t), max(t))),
+    max_size=6,
+)
+
+
+@given(
+    start=st.integers(min_value=0, max_value=100),
+    end=st.integers(min_value=0, max_value=100),
+    raw=ranges_strategy,
+)
+@settings(max_examples=200)
+def test_split_partitions_request_exactly(start, end, raw):
+    if end < start:
+        start, end = end, start
+    valid = merge_ranges(raw)
+    pieces = list(_split_by_valid(start, end, valid))
+    # Pieces tile [start, end) in order with no gaps or overlaps.
+    pos = start
+    for piece_start, piece_end, _in_cache in pieces:
+        assert piece_start == pos
+        assert piece_end > piece_start
+        pos = piece_end
+    assert pos == end or (start == end and not pieces)
+    # Every point's cache verdict matches membership in the valid set.
+    for piece_start, piece_end, in_cache in pieces:
+        for point in range(piece_start, piece_end):
+            member = any(s <= point < e for s, e in valid)
+            assert member == in_cache
+
+
+@given(raw=ranges_strategy)
+@settings(max_examples=100)
+def test_split_alternates_cache_flags(raw):
+    valid = merge_ranges(raw)
+    pieces = list(_split_by_valid(0, 100, valid))
+    for (s1, e1, c1), (s2, e2, c2) in zip(pieces, pieces[1:]):
+        assert c1 != c2  # adjacent pieces always flip (ranges are merged)
+
+
+def test_split_empty_request():
+    assert list(_split_by_valid(5, 5, ((0, 10),))) == []
+
+
+def test_split_fully_cached():
+    assert list(_split_by_valid(2, 8, ((0, 10),))) == [(2, 8, True)]
+
+
+def test_split_fully_uncached():
+    assert list(_split_by_valid(2, 8, ())) == [(2, 8, False)]

@@ -1,0 +1,75 @@
+"""Tests for the operational status snapshot."""
+
+from repro.cluster import RadosCluster
+from repro.core import DedupConfig, DedupedStorage
+from repro.core.status import DedupStatus, collect_status
+
+
+def make_storage(**overrides):
+    defaults = dict(chunk_size=1024, dedup_interval=0.01)
+    defaults.update(overrides)
+    cluster = RadosCluster(num_hosts=4, osds_per_host=2, pg_num=32)
+    return DedupedStorage(cluster, DedupConfig(**defaults), start_engine=False)
+
+
+def test_status_fresh_store():
+    storage = make_storage()
+    status = storage.status()
+    assert isinstance(status, DedupStatus)
+    assert not status.engine_running
+    assert status.dirty_objects == 0
+    assert status.space.logical_bytes == 0
+    assert status.refcount_mode == "strict"
+
+
+def test_status_reflects_dirty_backlog_and_cache():
+    storage = make_storage()
+    for i in range(4):
+        storage.write_sync(f"obj{i}", b"x" * 2048)
+    status = storage.status()
+    assert status.dirty_objects == 4
+    assert status.cached_bytes == 4 * 2048
+    assert status.foreground_iops > 0
+    assert status.space.logical_bytes == 4 * 2048
+
+
+def test_status_after_drain():
+    storage = make_storage()
+    for i in range(4):
+        storage.write_sync(f"obj{i}", b"same" * 512)
+    storage.drain()
+    status = storage.status()
+    assert status.dirty_objects == 0
+    assert status.engine.objects_processed == 4
+    assert status.space.chunk_objects == 1
+    assert status.space.actual_dedup_ratio > 0.2  # metadata-heavy at tiny scale
+    assert status.pool_raw_bytes["dedup-chunks"] > 0
+
+
+def test_status_engine_running_flag():
+    storage = make_storage()
+    storage.engine.start()
+    assert storage.status().engine_running
+    storage.engine.stop()
+    storage.sim.run(until=storage.sim.now + 1.0)
+    assert not storage.status().engine_running
+
+
+def test_status_pending_derefs_in_fp_mode():
+    storage = make_storage(refcount_mode="false_positive")
+    storage.write_sync("obj1", b"A" * 1024)
+    storage.drain()
+    storage.write_sync("obj1", b"B" * 1024)
+    storage.cluster.run(storage.engine.drain(run_gc=False))
+    status = storage.status()
+    assert status.refcount_mode == "false_positive"
+    assert status.pending_derefs == 1
+
+
+def test_summary_lines_render():
+    storage = make_storage()
+    storage.write_sync("obj1", b"y" * 4096)
+    storage.drain()
+    lines = storage.status().summary_lines()
+    assert any("dedup ratio" in line for line in lines)
+    assert all(isinstance(line, str) for line in lines)

@@ -1,0 +1,126 @@
+"""Tests for latency recorder, throughput series, and usage snapshots."""
+
+import pytest
+
+from repro.cluster import RadosCluster, Replicated
+from repro.metrics import (
+    LatencyRecorder,
+    ThroughputSeries,
+    cpu_usage,
+    storage_breakdown,
+)
+
+
+def test_latency_basic_stats():
+    rec = LatencyRecorder()
+    for v in [1.0, 2.0, 3.0, 4.0]:
+        rec.record(v)
+    assert rec.count == 4
+    assert rec.mean == 2.5
+    assert rec.minimum == 1.0
+    assert rec.maximum == 4.0
+    assert rec.p50 == 2.5
+
+
+def test_latency_percentiles():
+    rec = LatencyRecorder()
+    for v in range(1, 101):
+        rec.record(float(v))
+    assert rec.percentile(0) == 1.0
+    assert rec.percentile(100) == 100.0
+    assert rec.p99 == pytest.approx(99.01)
+    assert rec.percentile(50) == pytest.approx(50.5)
+
+
+def test_latency_empty():
+    rec = LatencyRecorder()
+    assert rec.mean == 0.0
+    assert rec.p50 == 0.0
+    assert rec.summary()["count"] == 0
+
+
+def test_latency_single_sample():
+    rec = LatencyRecorder()
+    rec.record(5.0)
+    assert rec.percentile(37) == 5.0
+
+
+def test_latency_validation():
+    rec = LatencyRecorder()
+    with pytest.raises(ValueError):
+        rec.record(-1.0)
+    with pytest.raises(ValueError):
+        rec.percentile(101)
+
+
+def test_latency_merge():
+    a, b = LatencyRecorder(), LatencyRecorder()
+    a.record(1.0)
+    b.record(3.0)
+    a.merge(b)
+    assert a.count == 2
+    assert a.mean == 2.0
+
+
+def test_series_buckets_and_gaps():
+    s = ThroughputSeries(interval=1.0)
+    s.note(0.5, 100)
+    s.note(0.9, 100)
+    s.note(3.2, 300)
+    points = dict(s.series())
+    assert points[0.0] == 200.0
+    assert points[1.0] == 0.0  # gap filled
+    assert points[3.0] == 300.0
+    assert s.total_bytes == 500
+    assert s.total_ops == 3
+
+
+def test_series_min_and_mean():
+    s = ThroughputSeries(interval=1.0)
+    s.note(0.0, 600)
+    s.note(1.0, 200)
+    s.note(2.0, 400)
+    assert s.min_throughput() == 200.0
+    assert s.mean_throughput() == 400.0
+
+
+def test_series_empty():
+    s = ThroughputSeries()
+    assert s.series() == []
+    assert s.mean_throughput() == 0.0
+
+
+def test_series_invalid_interval():
+    with pytest.raises(ValueError):
+        ThroughputSeries(interval=0)
+
+
+def test_cpu_usage_snapshot():
+    cluster = RadosCluster(num_hosts=2, osds_per_host=1)
+    snap = cpu_usage(cluster)
+    assert set(snap.per_node) == {"host0", "host1"}
+    assert snap.mean == 0.0
+    assert snap.mean_percent == 0.0
+
+
+def test_cpu_usage_reflects_work():
+    cluster = RadosCluster(num_hosts=2, osds_per_host=1)
+    node = cluster.nodes["host0"]
+
+    def burn():
+        yield from node.cpu.execute(1.0)
+        yield cluster.sim.timeout(1.0)
+
+    cluster.run(burn())
+    snap = cpu_usage(cluster)
+    assert snap.per_node["host0"] > 0
+    assert snap.per_node["host1"] == 0.0
+
+
+def test_storage_breakdown():
+    cluster = RadosCluster(num_hosts=2, osds_per_host=1, pg_num=16)
+    pool = cluster.create_pool("p", Replicated(2))
+    cluster.write_full_sync(pool, "o", b"x" * 1000)
+    bd = storage_breakdown(cluster)
+    assert bd.per_pool["p"] >= 2000
+    assert bd.total == bd.per_pool["p"]

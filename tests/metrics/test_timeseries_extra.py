@@ -1,0 +1,60 @@
+"""Additional coverage for throughput series and FIO result plumbing."""
+
+import pytest
+
+from repro.cluster import RadosCluster
+from repro.core import PlainStorage
+from repro.metrics import ThroughputSeries
+from repro.workloads import FioJobSpec, FioRunner
+
+KiB = 1024
+
+
+def test_ops_series_counts_operations():
+    s = ThroughputSeries(interval=1.0)
+    for t in (0.1, 0.2, 0.3, 1.5):
+        s.note(t, 10)
+    points = dict(s.ops_series())
+    assert points[0.0] == 3.0
+    assert points[1.0] == 1.0
+
+
+def test_ops_series_empty():
+    assert ThroughputSeries().ops_series() == []
+
+
+def test_custom_interval_buckets():
+    s = ThroughputSeries(interval=0.5)
+    s.note(0.0, 100)
+    s.note(0.6, 100)
+    points = dict(s.series())
+    assert points[0.0] == 200.0  # 100 bytes / 0.5 s
+    assert points[0.5] == 200.0
+
+
+def test_fio_result_series_populated():
+    storage = PlainStorage(RadosCluster(num_hosts=2, osds_per_host=2, pg_num=16))
+    spec = FioJobSpec(
+        pattern="write",
+        block_size=4 * KiB,
+        file_size=64 * KiB,
+        object_size=16 * KiB,
+    )
+    result = FioRunner(storage, spec).run()
+    assert result.series.total_bytes == 64 * KiB
+    assert result.series.total_ops == result.total_ops
+
+
+def test_fio_sequential_wraps_with_runtime():
+    storage = PlainStorage(RadosCluster(num_hosts=2, osds_per_host=2, pg_num=16))
+    spec = FioJobSpec(
+        pattern="write",
+        block_size=4 * KiB,
+        file_size=16 * KiB,
+        object_size=16 * KiB,
+        runtime=0.02,
+    )
+    result = FioRunner(storage, spec).run()
+    # Far more ops than one pass over the 4-block file: it wrapped.
+    assert result.total_ops > 8
+    assert len(storage.read_sync("fio.j0.o0")) == 16 * KiB

@@ -1,0 +1,131 @@
+"""Edge-case coverage for the simulation kernel."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Resource, Simulator, Store
+
+
+def test_all_of_with_already_triggered_events():
+    sim = Simulator()
+    done = sim.event()
+    done.succeed("early")
+    sim.run()
+
+    def outer(sim, done):
+        pending = sim.timeout(2.0, value="late")
+        values = yield sim.all_of([done, pending])
+        return values
+
+    p = sim.process(outer(sim, done))
+    sim.run()
+    assert p.value == ["early", "late"]
+
+
+def test_any_of_with_already_triggered_event_wins():
+    sim = Simulator()
+    done = sim.event()
+    done.succeed("instant")
+    sim.run()
+
+    def outer(sim, done):
+        slow = sim.timeout(10.0)
+        event, value = yield sim.any_of([done, slow])
+        return (sim.now, value)
+
+    p = sim.process(outer(sim, done))
+    sim.run_until_complete(p)
+    assert p.value == (0.0, "instant")
+
+
+def test_nested_processes_three_deep():
+    sim = Simulator()
+
+    def leaf(sim):
+        yield sim.timeout(1.0)
+        return 1
+
+    def middle(sim):
+        value = yield sim.process(leaf(sim))
+        yield sim.timeout(1.0)
+        return value + 1
+
+    def root(sim):
+        value = yield sim.process(middle(sim))
+        return value + 1
+
+    p = sim.process(root(sim))
+    sim.run()
+    assert p.value == 3
+    assert sim.now == 2.0
+
+
+def test_store_get_before_put_fifo_getters():
+    sim = Simulator()
+    store = Store(sim)
+    order = []
+
+    def getter(sim, store, name):
+        item = yield store.get()
+        order.append((name, item))
+
+    def putter(sim, store):
+        yield sim.timeout(1.0)
+        yield store.put("a")
+        yield store.put("b")
+
+    sim.process(getter(sim, store, "first"))
+    sim.process(getter(sim, store, "second"))
+    sim.process(putter(sim, store))
+    sim.run()
+    assert order == [("first", "a"), ("second", "b")]
+
+
+def test_resource_released_in_finally_on_failure():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+
+    def failing(sim, res):
+        yield res.acquire()
+        try:
+            yield sim.timeout(1.0)
+            raise RuntimeError("boom")
+        finally:
+            res.release()
+
+    def follower(sim, res):
+        yield res.acquire()
+        res.release()
+        return sim.now
+
+    bad = sim.process(failing(sim, res))
+    good = sim.process(follower(sim, res))
+    sim.run()
+    assert not bad.ok
+    assert good.value == 1.0  # the slot was freed despite the crash
+    assert res.in_use == 0
+
+
+def test_process_return_none_by_default():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(0.5)
+
+    p = sim.process(proc(sim))
+    sim.run()
+    assert p.value is None
+
+
+def test_zero_delay_timeout_fires_in_fifo_order():
+    sim = Simulator()
+    seen = []
+
+    def proc(sim, name):
+        yield sim.timeout(0.0)
+        seen.append(name)
+
+    for name in "abc":
+        sim.process(proc(sim, name))
+    sim.run()
+    assert seen == list("abc")
+    assert sim.now == 0.0

@@ -1,0 +1,100 @@
+"""Property-based tests for the simulation kernel (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Resource, Simulator, TokenBucket
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50))
+def test_clock_is_monotonic(delays):
+    """However timeouts interleave, observed times never decrease."""
+    sim = Simulator()
+    observed = []
+
+    def proc(sim, delay):
+        yield sim.timeout(delay)
+        observed.append(sim.now)
+
+    for delay in delays:
+        sim.process(proc(sim, delay))
+    sim.run()
+    assert observed == sorted(observed)
+    assert len(observed) == len(delays)
+
+
+@given(
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=30
+    )
+)
+def test_final_time_is_max_delay(delays):
+    sim = Simulator()
+
+    def proc(sim, delay):
+        yield sim.timeout(delay)
+
+    for delay in delays:
+        sim.process(proc(sim, delay))
+    sim.run()
+    assert sim.now == max(delays)
+
+
+@given(
+    service_times=st.lists(
+        st.floats(min_value=0.01, max_value=10.0), min_size=1, max_size=20
+    ),
+    capacity=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=50)
+def test_resource_conserves_work(service_times, capacity):
+    """Total busy-integral equals the sum of service times, regardless of
+    capacity and queueing, and makespan >= total_work / capacity."""
+    sim = Simulator()
+    res = Resource(sim, capacity=capacity)
+
+    def user(sim, res, t):
+        yield sim.process(res.serve(t))
+
+    for t in service_times:
+        sim.process(user(sim, res, t))
+    sim.run()
+    res._account()
+    total = sum(service_times)
+    assert res.busy_integral == pytest_approx(total)
+    assert sim.now >= total / capacity - 1e-9
+    assert sim.now <= total + 1e-9
+
+
+def pytest_approx(x, rel=1e-9):
+    import pytest
+
+    return pytest.approx(x, rel=rel, abs=1e-9)
+
+
+@given(
+    amounts=st.lists(
+        st.floats(min_value=0.1, max_value=5.0), min_size=1, max_size=20
+    ),
+    rate=st.floats(min_value=0.5, max_value=50.0),
+)
+@settings(max_examples=50)
+def test_token_bucket_never_exceeds_rate(amounts, rate):
+    """Cumulative grants can never outpace burst + rate * time."""
+    sim = Simulator()
+    capacity = 5.0
+    bucket = TokenBucket(sim, rate=rate, capacity=capacity)
+    grants = []
+
+    def user(sim, bucket, amount):
+        yield bucket.acquire(amount)
+        grants.append((sim.now, amount))
+
+    for amount in amounts:
+        sim.process(user(sim, bucket, amount))
+    sim.run()
+    assert len(grants) == len(amounts)
+    cumulative = 0.0
+    for when, amount in grants:
+        cumulative += amount
+        assert cumulative <= capacity + rate * when + 1e-6

@@ -1,0 +1,44 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_info(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "ICDCS 2018" in out
+    assert "benchmarks" in out
+
+
+def test_demo_reports_savings(capsys):
+    assert main(["demo"]) == 0
+    out = capsys.readouterr().out
+    assert "ideal dedup ratio" in out
+    assert "75.0%" in out
+
+
+def test_status_snapshot(capsys):
+    assert main(["status"]) == 0
+    out = capsys.readouterr().out
+    assert "dirty backlog" in out
+    assert "dedup ratio" in out
+
+
+def test_scrub_clean_exit_code(capsys):
+    assert main(["scrub"]) == 0
+    assert "CLEAN" in capsys.readouterr().out
+
+
+def test_seed_changes_content(capsys):
+    main(["--seed", "1", "demo"])
+    first = capsys.readouterr().out
+    main(["--seed", "2", "demo"])
+    second = capsys.readouterr().out
+    assert "dedup ratio" in first and "dedup ratio" in second
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["bogus"])

@@ -1,0 +1,39 @@
+"""Tests for the Bloom filter."""
+
+import pytest
+
+from repro.util import BloomFilter
+
+
+def test_no_false_negatives():
+    bf = BloomFilter(capacity=1000)
+    items = [f"obj{i}" for i in range(1000)]
+    for item in items:
+        bf.add(item)
+    assert all(item in bf for item in items)
+
+
+def test_false_positive_rate_bounded():
+    bf = BloomFilter(capacity=1000, error_rate=0.01)
+    for i in range(1000):
+        bf.add(f"obj{i}")
+    false_positives = sum(1 for i in range(10_000) if f"other{i}" in bf)
+    assert false_positives / 10_000 < 0.05
+
+
+def test_empty_filter_contains_nothing():
+    bf = BloomFilter(capacity=100)
+    assert "anything" not in bf
+
+
+def test_memory_scales_with_capacity():
+    small = BloomFilter(capacity=100)
+    large = BloomFilter(capacity=10_000)
+    assert large.memory_bytes() > small.memory_bytes()
+
+
+def test_invalid_params():
+    with pytest.raises(ValueError):
+        BloomFilter(capacity=0)
+    with pytest.raises(ValueError):
+        BloomFilter(capacity=10, error_rate=1.5)

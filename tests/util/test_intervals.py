@@ -1,0 +1,130 @@
+"""Tests for the disjoint interval set."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util import IntervalSet
+
+
+def ivs(*pairs):
+    s = IntervalSet()
+    for a, b in pairs:
+        s.add(a, b)
+    return s
+
+
+def test_add_disjoint():
+    s = ivs((0, 5), (10, 15))
+    assert list(s) == [(0, 5), (10, 15)]
+    assert s.total() == 10
+
+
+def test_add_merges_overlap():
+    s = ivs((0, 5), (3, 8))
+    assert list(s) == [(0, 8)]
+
+
+def test_add_merges_adjacent():
+    s = ivs((0, 5), (5, 10))
+    assert list(s) == [(0, 10)]
+
+
+def test_add_empty_is_noop():
+    s = ivs((3, 3))
+    assert not s
+
+
+def test_remove_splits():
+    s = ivs((0, 10))
+    s.remove(3, 6)
+    assert list(s) == [(0, 3), (6, 10)]
+
+
+def test_remove_edges():
+    s = ivs((0, 10))
+    s.remove(0, 4)
+    s.remove(8, 10)
+    assert list(s) == [(4, 8)]
+
+
+def test_remove_everything():
+    s = ivs((0, 10), (20, 30))
+    s.remove(0, 30)
+    assert not s
+
+
+def test_remove_disjoint_noop():
+    s = ivs((5, 10))
+    s.remove(0, 5)
+    s.remove(10, 20)
+    assert list(s) == [(5, 10)]
+
+
+def test_total_within():
+    s = ivs((0, 10), (20, 30))
+    assert s.total_within(5, 25) == 10  # 5..10 and 20..25
+    assert s.total_within(10, 20) == 0
+
+
+def test_contains():
+    s = ivs((5, 10))
+    assert s.contains(5)
+    assert s.contains(9)
+    assert not s.contains(10)
+    assert not s.contains(4)
+
+
+def test_clip():
+    s = ivs((0, 10), (20, 30))
+    s.clip(25)
+    assert list(s) == [(0, 10), (20, 25)]
+
+
+def test_copy_independent():
+    s = ivs((0, 10))
+    c = s.copy()
+    c.remove(0, 5)
+    assert list(s) == [(0, 10)]
+
+
+def test_invalid_interval():
+    s = IntervalSet()
+    with pytest.raises(ValueError):
+        s.add(5, 3)
+    with pytest.raises(ValueError):
+        s.add(-1, 3)
+
+
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["add", "remove"]),
+            st.integers(min_value=0, max_value=100),
+            st.integers(min_value=0, max_value=100),
+        ),
+        max_size=40,
+    )
+)
+@settings(max_examples=100)
+def test_matches_reference_set_semantics(ops):
+    """The interval set behaves exactly like a set of integers."""
+    s = IntervalSet()
+    reference = set()
+    for op, a, b in ops:
+        lo, hi = min(a, b), max(a, b)
+        if op == "add":
+            s.add(lo, hi)
+            reference |= set(range(lo, hi))
+        else:
+            s.remove(lo, hi)
+            reference -= set(range(lo, hi))
+    assert s.total() == len(reference)
+    for point in range(0, 101):
+        assert s.contains(point) == (point in reference)
+    # Intervals stay sorted and disjoint.
+    prev_end = -1
+    for start, end in s:
+        assert start < end
+        assert start > prev_end
+        prev_end = end

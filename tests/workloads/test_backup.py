@@ -1,0 +1,98 @@
+"""Tests for the versioned backup-stream workload."""
+
+import pytest
+
+from repro.cluster import RadosCluster
+from repro.core import DedupConfig, DedupedStorage
+from repro.fingerprint import fingerprint
+from repro.workloads import BackupSpec, BackupStream
+
+KiB = 1024
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        BackupSpec(dataset_size=1000, block_size=512)
+    with pytest.raises(ValueError):
+        BackupSpec(mutation_rate=1.5)
+    with pytest.raises(ValueError):
+        BackupSpec(generations=0)
+
+
+def test_generation_zero_deterministic():
+    spec = BackupSpec(dataset_size=64 * KiB, block_size=8 * KiB, seed=5)
+    a = list(BackupStream(spec).generation_blocks(0))
+    b = list(BackupStream(spec).generation_blocks(0))
+    assert a == b
+    assert len(a) == 8
+
+
+def test_mutation_rate_controls_churn():
+    spec = BackupSpec(
+        dataset_size=512 * KiB, block_size=8 * KiB, mutation_rate=0.1, seed=2
+    )
+    stream = BackupStream(spec)
+    g0 = {oid.split(".o")[1]: blk for oid, blk in stream.generation_blocks(0)}
+    g1 = {oid.split(".o")[1]: blk for oid, blk in stream.generation_blocks(1)}
+    changed = sum(1 for k in g0 if g0[k] != g1[k])
+    assert 0 < changed < 0.25 * len(g0)
+
+
+def test_zero_mutation_generations_identical_content():
+    spec = BackupSpec(
+        dataset_size=64 * KiB, block_size=8 * KiB, mutation_rate=0.0
+    )
+    stream = BackupStream(spec)
+    g0 = [blk for _o, blk in stream.generation_blocks(0)]
+    g3 = [blk for _o, blk in stream.generation_blocks(3)]
+    assert g0 == g3
+
+
+def test_backup_series_dedups_across_generations():
+    spec = BackupSpec(
+        dataset_size=256 * KiB,
+        block_size=8 * KiB,
+        mutation_rate=0.05,
+        generations=4,
+        seed=7,
+    )
+    cluster = RadosCluster(num_hosts=4, osds_per_host=2, pg_num=32)
+    storage = DedupedStorage(
+        cluster,
+        DedupConfig(chunk_size=8 * KiB, cache_on_flush=False),
+        start_engine=False,
+    )
+    stream = BackupStream(spec)
+    for g in range(spec.generations):
+        stream.write_generation(storage, g)
+    storage.drain()
+    report = storage.space_report()
+    logical = spec.generations * spec.dataset_size
+    assert report.logical_bytes == logical
+    # Stored data ~= one base + the churn, far below generations x base.
+    assert report.chunk_data_bytes < 0.5 * logical
+    assert report.chunk_data_bytes >= spec.dataset_size
+    # Latest generation restores byte-identically.
+    restored = stream.restore_generation(storage, spec.generations - 1)
+    assert restored == stream.expected_generation(spec.generations - 1)
+
+
+def test_all_generations_independently_restorable():
+    spec = BackupSpec(
+        dataset_size=64 * KiB, block_size=8 * KiB, mutation_rate=0.3,
+        generations=3, seed=9,
+    )
+    cluster = RadosCluster(num_hosts=4, osds_per_host=2, pg_num=32)
+    storage = DedupedStorage(
+        cluster, DedupConfig(chunk_size=8 * KiB), start_engine=False
+    )
+    stream = BackupStream(spec)
+    histories = []
+    for g in range(spec.generations):
+        stream.write_generation(storage, g)
+        histories.append(list(stream._last_changed))
+    storage.drain()
+    for g in range(spec.generations):
+        assert stream.restore_generation(storage, g) == stream.expected_generation(
+            g, histories[g]
+        )

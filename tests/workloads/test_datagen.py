@@ -1,0 +1,71 @@
+"""Tests for the content generator."""
+
+import pytest
+
+from repro.compression import ZlibCodec
+from repro.fingerprint import fingerprint
+from repro.workloads import ContentGenerator
+
+
+def dedup_ratio(blocks):
+    unique = {fingerprint(b) for b in blocks}
+    total = sum(len(b) for b in blocks)
+    unique_bytes = sum(len(b) for b in {fingerprint(x): x for x in blocks}.values())
+    return 1.0 - unique_bytes / total
+
+
+def test_zero_dedupe_all_unique():
+    gen = ContentGenerator(seed=0, dedupe_ratio=0.0)
+    blocks = [gen.block(4096) for _ in range(100)]
+    assert len({fingerprint(b) for b in blocks}) == 100
+
+
+def test_target_dedupe_ratio_roughly_met():
+    gen = ContentGenerator(seed=0, dedupe_ratio=0.5)
+    blocks = [gen.block(4096) for _ in range(1000)]
+    ratio = dedup_ratio(blocks)
+    assert 0.40 < ratio < 0.60
+
+
+def test_high_dedupe_ratio():
+    gen = ContentGenerator(seed=1, dedupe_ratio=0.8)
+    blocks = [gen.block(4096) for _ in range(1000)]
+    assert 0.70 < dedup_ratio(blocks) < 0.90
+
+
+def test_deterministic_across_instances():
+    a = ContentGenerator(seed=42, dedupe_ratio=0.5)
+    b = ContentGenerator(seed=42, dedupe_ratio=0.5)
+    assert [a.block(512) for _ in range(50)] == [b.block(512) for _ in range(50)]
+
+
+def test_different_seeds_differ():
+    a = ContentGenerator(seed=1)
+    b = ContentGenerator(seed=2)
+    assert a.block(512) != b.block(512)
+
+
+def test_compressibility_controlled():
+    codec = ZlibCodec()
+    incompressible = ContentGenerator(seed=0, compress_ratio=0.0).block(65536)
+    compressible = ContentGenerator(seed=0, compress_ratio=0.8).block(65536)
+    assert codec.measure(incompressible).ratio < 0.05
+    assert codec.measure(compressible).ratio > 0.6
+
+
+def test_stream_totals():
+    gen = ContentGenerator(seed=0)
+    blocks = gen.stream(10_000, 4096)
+    assert sum(len(b) for b in blocks) == 10_000
+    assert [len(b) for b in blocks] == [4096, 4096, 1808]
+
+
+def test_invalid_params():
+    with pytest.raises(ValueError):
+        ContentGenerator(dedupe_ratio=1.5)
+    with pytest.raises(ValueError):
+        ContentGenerator(compress_ratio=-0.1)
+    with pytest.raises(ValueError):
+        ContentGenerator(duplicate_pool_size=0)
+    with pytest.raises(ValueError):
+        ContentGenerator().block(0)

@@ -7,7 +7,6 @@ limited cache under a hot/cold skewed read workload, comparing the
 hit rate and mean read latency of LRU, LFU, and FIFO eviction.
 """
 
-import pytest
 
 from repro.bench import KiB, build_cluster, proposed, render_table, report
 from repro.sim import RngRegistry

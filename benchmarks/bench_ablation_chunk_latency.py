@@ -8,7 +8,6 @@ chunk size (§3.1: "reading 32KB chunk => modifying 16KB data => writing
 RMW is deferred off the foreground path.
 """
 
-import pytest
 
 from repro.bench import KiB, MiB, build_cluster, proposed, render_table, report
 from repro.workloads import FioJobSpec, FioRunner

@@ -7,9 +7,8 @@ bytes shrink further, while redirected reads pay a whole-chunk fetch
 plus a decompression CPU charge.
 """
 
-import pytest
 
-from repro.bench import KiB, MiB, build_cluster, fmt_bytes, proposed, render_table, report
+from repro.bench import KiB, build_cluster, fmt_bytes, proposed, render_table, report
 from repro.workloads import ContentGenerator
 
 

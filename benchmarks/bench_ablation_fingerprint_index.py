@@ -12,7 +12,6 @@ index-free design keeps — plus what capping that memory does to the
 dedup ratio (evicted entries = missed duplicates).
 """
 
-import pytest
 
 from repro.bench import KiB, MiB, render_table, report
 from repro.fingerprint import FingerprintIndex, fingerprint

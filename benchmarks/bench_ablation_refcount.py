@@ -12,9 +12,8 @@ time, then shows the garbage that accrues before GC and that GC clears
 it.
 """
 
-import pytest
 
-from repro.bench import KiB, MiB, build_cluster, proposed, render_table, report
+from repro.bench import KiB, build_cluster, proposed, render_table, report
 from repro.workloads import ContentGenerator
 
 

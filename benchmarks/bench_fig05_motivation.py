@@ -14,7 +14,6 @@ MB/s differ from the paper's hardware, the collapse factors are the
 result.
 """
 
-import pytest
 
 from repro.bench import (
     KiB,

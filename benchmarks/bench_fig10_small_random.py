@@ -11,7 +11,6 @@ read/write on a 32 KiB-chunk system.  Paper findings:
   *Proposed-cache* ~= Original.
 """
 
-import pytest
 
 from repro.bench import KiB, MiB, build_cluster, original, proposed, render_table, report
 from repro.workloads import FioJobSpec, FioRunner

@@ -11,7 +11,6 @@ before the read tests):
   throughput regardless of the client block size.
 """
 
-import pytest
 
 from repro.bench import KiB, MiB, build_cluster, original, proposed, render_table, report
 from repro.workloads import FioJobSpec, FioRunner

@@ -8,7 +8,6 @@ checks that the deduplicated system's aggregate throughput scales like
 the original system's — i.e. dedup does not bend the scaling curve.
 """
 
-import pytest
 
 from repro.bench import KiB, MiB, build_cluster, original, proposed, render_table, report
 from repro.workloads import FioJobSpec, FioRunner

@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Local dry-run of .github/workflows/ci.yml: runs the same jobs with the
+# same commands so a green run here predicts a green run in Actions.
+# Tools that only CI installs (ruff) are skipped with a notice when
+# absent.  Usage:
+#
+#   scripts/ci_local.sh            # lint + tests + faults smoke
+#   scripts/ci_local.sh --bench    # also the nightly bench smoke
+set -u
+cd "$(dirname "$0")/.."
+
+RUN_BENCH=0
+[ "${1:-}" = "--bench" ] && RUN_BENCH=1
+
+FAILURES=0
+step() {
+    echo
+    echo "==> $1"
+    shift
+    if "$@"; then
+        echo "    OK"
+    else
+        echo "    FAILED: $*"
+        FAILURES=$((FAILURES + 1))
+    fi
+}
+
+# -- workflow sanity: the YAML must at least parse --------------------------
+step "ci.yml parses as YAML" python - <<'EOF'
+import sys
+try:
+    import yaml
+except ImportError:
+    print("    (PyYAML not installed; structural check skipped)")
+    sys.exit(0)
+with open(".github/workflows/ci.yml") as fh:
+    doc = yaml.safe_load(fh)
+jobs = doc["jobs"]
+assert {"lint", "test", "faults-smoke", "bench-smoke"} <= set(jobs), jobs.keys()
+matrix = jobs["test"]["strategy"]["matrix"]["python-version"]
+assert matrix == ["3.9", "3.11", "3.12"], matrix
+seeds = jobs["faults-smoke"]["strategy"]["matrix"]["fault-seed"]
+assert len(set(seeds)) == 3, seeds
+EOF
+
+# -- lint job ---------------------------------------------------------------
+if command -v ruff >/dev/null 2>&1; then
+    step "lint: ruff check" ruff check src tests benchmarks
+else
+    echo
+    echo "==> lint: ruff not installed locally; skipping (CI installs it)"
+fi
+
+# -- test job (this interpreter stands in for the version matrix) -----------
+step "test: tier-1 suite" env PYTHONPATH=src python -m pytest -x -q
+
+# -- faults-smoke job -------------------------------------------------------
+for seed in 11 29 4242; do
+    step "faults-smoke: suite, seed $seed" \
+        env PYTHONPATH=src REPRO_FAULT_SEED="$seed" python -m pytest -x -q tests/faults
+    step "faults-smoke: CLI scenario, seed $seed" \
+        env PYTHONPATH=src python -m repro --seed "$seed" faults
+done
+
+# -- bench-smoke job (nightly; opt-in locally) ------------------------------
+if [ "$RUN_BENCH" = 1 ]; then
+    step "bench-smoke: fast-mode benchmarks" \
+        env PYTHONPATH=src REPRO_BENCH_FAST=1 python -m pytest -q \
+        benchmarks/bench_fig14_rate_control.py \
+        benchmarks/bench_table3_recovery.py \
+        --benchmark-json=bench-smoke.json
+else
+    echo
+    echo "==> bench-smoke: skipped (pass --bench to run)"
+fi
+
+echo
+if [ "$FAILURES" -ne 0 ]; then
+    echo "ci_local: $FAILURES step(s) FAILED"
+    exit 1
+fi
+echo "ci_local: all steps passed"

@@ -8,7 +8,7 @@ redundancy of given data").
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Protocol
+from typing import List, Protocol
 
 __all__ = ["ChunkSpan", "Chunker"]
 

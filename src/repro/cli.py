@@ -6,6 +6,7 @@ Usage::
     python -m repro demo            # write/dedup/read roundtrip + savings
     python -m repro status          # demo cluster + operational snapshot
     python -m repro scrub           # demo cluster + integrity scrub
+    python -m repro faults          # seeded fault-injection run + verdict
 
 Full experiments live in ``benchmarks/`` (run with
 ``pytest benchmarks/ --benchmark-only``); the CLI is a zero-setup tour.
@@ -87,6 +88,54 @@ def _cmd_scrub(args) -> int:
     return 0 if report.clean else 1
 
 
+def _cmd_faults(args) -> int:
+    from .faults import FaultPlan, run_faulted_workload
+    from .metrics import fault_report
+
+    if args.horizon <= 0:
+        print(f"error: --horizon must be positive, got {args.horizon}",
+              file=sys.stderr)
+        return 2
+    num_osds = 8  # the scenario's fixed topology: 4 hosts x 2 OSDs
+    if args.kill_osd is not None and not 0 <= args.kill_osd < num_osds:
+        print(f"error: --kill-osd must be an OSD id in 0..{num_osds - 1},"
+              f" got {args.kill_osd}", file=sys.stderr)
+        return 2
+    plan = None
+    if args.kill_osd is not None:
+        # Targeted mode: kill one OSD mid-workload (mid-flush — the
+        # background engine runs throughout) and restart it later.
+        plan = FaultPlan.single_osd_kill(
+            args.kill_osd,
+            at=args.horizon * 0.3,
+            restart_after=args.horizon * 0.25,
+            seed=args.seed,
+        )
+    result = run_faulted_workload(
+        seed=args.seed,
+        plan=plan,
+        num_objects=args.objects,
+        horizon=args.horizon,
+    )
+    print(f"fault plan (seed {args.seed}, {len(result.plan)} events):")
+    for line in result.plan.describe() or ["  (empty plan)"]:
+        print(f"  {line}")
+    print()
+    for line in fault_report(result.storage).summary_lines():
+        print(line)
+    print()
+    scrub = result.scrub
+    print(f"objects written    {result.objects_written}"
+          f" ({len(result.corrupted_objects)} lost/corrupted)")
+    print(f"scrub              {scrub.chunks_checked} chunks checked,"
+          f" {len(scrub.corrupt_chunks)} corrupt,"
+          f" {len(scrub.dangling_map_entries)} dangling entries,"
+          f" {len(scrub.stale_references)} stale refs,"
+          f" {len(scrub.unreferenced_chunks)} unreferenced")
+    print(f"verdict:           {'CLEAN' if result.ok else 'DAMAGED'}")
+    return 0 if result.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
@@ -98,12 +147,33 @@ def main(argv: Optional[List[str]] = None) -> int:
     sub.add_parser("demo", help="dedup roundtrip + space savings")
     sub.add_parser("status", help="operational snapshot of a demo cluster")
     sub.add_parser("scrub", help="integrity scrub of a demo cluster")
+    faults = sub.add_parser(
+        "faults", help="faulted workload: inject, heal, recover, verify"
+    )
+    faults.add_argument(
+        "--kill-osd",
+        type=int,
+        default=None,
+        metavar="ID",
+        help="targeted plan: crash this OSD mid-workload (default: "
+        "generate a schedule from --seed)",
+    )
+    faults.add_argument(
+        "--objects", type=int, default=24, help="objects to write (default 24)"
+    )
+    faults.add_argument(
+        "--horizon",
+        type=float,
+        default=4.0,
+        help="fault-schedule length in simulated seconds (default 4.0)",
+    )
     args = parser.parse_args(argv)
     handler = {
         "info": _cmd_info,
         "demo": _cmd_demo,
         "status": _cmd_status,
         "scrub": _cmd_scrub,
+        "faults": _cmd_faults,
     }[args.command]
     return handler(args)
 

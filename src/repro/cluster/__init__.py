@@ -28,7 +28,7 @@ from .objectstore import (
     Transaction,
     PER_OBJECT_OVERHEAD,
 )
-from .osd import Node, OSD, OsdDownError, OsdFullError
+from .osd import Node, OSD, OsdDownError, OsdError, OsdFullError
 from .pool import ErasureCoded, Pool, Replicated
 from .rados import Client, NotEnoughReplicas, RadosCluster
 from .recovery import RecoveryStats, plan_recovery, recover, recover_sync
@@ -64,6 +64,7 @@ __all__ = [
     "PER_OBJECT_OVERHEAD",
     "Node",
     "OSD",
+    "OsdError",
     "OsdDownError",
     "OsdFullError",
     "Pool",

@@ -22,7 +22,7 @@ from __future__ import annotations
 import hashlib
 import math
 import struct
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from .clustermap import ClusterMap
 

@@ -16,7 +16,7 @@ from .clustermap import OsdInfo
 from .hardware import Cpu, Disk, HardwareProfile, Nic
 from .objectstore import ObjectKey, ObjectStore, Transaction
 
-__all__ = ["Node", "OSD"]
+__all__ = ["Node", "OSD", "OsdError", "OsdDownError", "OsdFullError"]
 
 
 class Node:
@@ -26,6 +26,8 @@ class Node:
         self.sim = sim
         self.name = name
         self.nic = Nic(sim, profile.nic)
+        # The fault injector partitions hosts by NIC owner name.
+        self.nic.owner = name
         self.cpu = Cpu(sim, profile.cpu)
         self.osds: List["OSD"] = []
 
@@ -54,6 +56,12 @@ class OSD:
         #: Operation counters for metrics.
         self.op_reads = 0
         self.op_writes = 0
+        #: Fault-injection hook (a FaultInjector, or None); consulted at
+        #: the head of every execute path.
+        self.faults = None
+        #: Set when the daemon rejoins after a crash with its (possibly
+        #: stale) disk contents intact; recovery reconciles and clears it.
+        self.needs_backfill = False
 
     @property
     def up(self) -> bool:
@@ -71,8 +79,18 @@ class OSD:
         return self.store.used_bytes() >= self.full_threshold
 
     def _check_capacity(self, incoming_bytes: int) -> None:
-        if self.store.used_bytes() + incoming_bytes > self.full_threshold:
-            raise OsdFullError(self.osd_id)
+        used = self.store.used_bytes()
+        if used + incoming_bytes > self.full_threshold:
+            raise OsdFullError(
+                self.osd_id,
+                needed_bytes=incoming_bytes,
+                available_bytes=max(0, int(self.full_threshold) - used),
+            )
+
+    def _faults(self, op: str, nbytes: int):
+        """Process: run the fault-injection hook (no-op when detached)."""
+        if self.faults is not None:
+            yield from self.faults.before_op(self, op, nbytes)
 
     # -- simulation processes -------------------------------------------------
 
@@ -82,49 +100,109 @@ class OSD:
             raise OsdDownError(self.osd_id)
         self.op_reads += 1
         data = self.store.read(key, offset, length)
+        yield from self._faults("read", len(data))
         yield from self.node.cpu.execute(self.node.cpu.spec.per_io_cost)
         yield from self.disk.read(max(len(data), 1))
+        if not self.up:  # daemon died while the op was in flight
+            raise OsdDownError(self.osd_id)
         return data
 
+    def prepare_transaction(self, txn: Transaction):
+        """Process: everything that can *fail* or take *time* for a txn.
+
+        Charges disk and CPU time, checks capacity, and runs the
+        fault-injection hook — but does not touch the store.  Injected
+        transient errors therefore fire before any mutation, so a
+        retried transaction never observes a half-applied store, and a
+        replicated submit can prepare every replica before committing
+        any of them (see :meth:`RadosCluster.submit`).
+        """
+        if not self.up:
+            raise OsdDownError(self.osd_id)
+        self._check_capacity(txn.io_bytes)
+        yield from self._faults("write", txn.io_bytes)
+        self.op_writes += 1
+        yield from self.node.cpu.execute(self.node.cpu.spec.per_io_cost)
+        yield from self.disk.write(max(txn.io_bytes, 1))
+        if not self.up:  # died mid-op: the mutation never commits
+            raise OsdDownError(self.osd_id)
+
+    def commit_transaction(self, txn: Transaction) -> None:
+        """Apply a prepared transaction instantly (the commit point).
+
+        No simulated time elapses and nothing can fail once the prepare
+        phase has succeeded, which is what lets ``submit`` make a
+        replicated transaction all-or-nothing across replicas.
+        """
+        self.store.apply(txn)
+
     def execute_transaction(self, txn: Transaction):
-        """Process: apply a transaction, charging disk and CPU time.
+        """Process: prepare + commit on this one OSD.
 
         The store mutation happens after the device time has elapsed, so
         a concurrent reader at an earlier simulated instant sees the old
         state (a transaction commits at its completion time).
         """
-        if not self.up:
-            raise OsdDownError(self.osd_id)
-        self._check_capacity(txn.io_bytes)
-        self.op_writes += 1
-        yield from self.node.cpu.execute(self.node.cpu.spec.per_io_cost)
-        yield from self.disk.write(max(txn.io_bytes, 1))
-        self.store.apply(txn)
+        yield from self.prepare_transaction(txn)
+        self.commit_transaction(txn)
 
     def execute_push(self, key: ObjectKey, obj) -> object:
         """Process: install a recovered/replicated full object copy."""
         if not self.up:
             raise OsdDownError(self.osd_id)
         self._check_capacity(obj.footprint())
+        yield from self._faults("write", obj.footprint())
         self.op_writes += 1
         yield from self.disk.write(max(obj.footprint(), 1))
+        if not self.up:  # died mid-op: the push never lands
+            raise OsdDownError(self.osd_id)
         self.store.put_object(key, obj)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<OSD {self.osd_id} on {self.node.name} up={self.up}>"
 
 
-class OsdDownError(RuntimeError):
-    """An operation was routed to an OSD that is not serving."""
+class OsdError(RuntimeError):
+    """Base for typed OSD operation errors.
 
-    def __init__(self, osd_id: int):
-        super().__init__(f"osd.{osd_id} is down")
+    ``retryable`` feeds the fault layer's classification
+    (:func:`repro.faults.errors.is_retryable`): retry-with-backoff can
+    only help when the condition is transient.
+    """
+
+    retryable = False
+
+    def __init__(self, osd_id: int, message: str):
+        super().__init__(message)
         self.osd_id = osd_id
 
 
-class OsdFullError(RuntimeError):
-    """A write was refused because the OSD crossed its full ratio."""
+class OsdDownError(OsdError):
+    """An operation was routed to an OSD that is not serving.
+
+    Retryable: the daemon may restart, or a retry may be routed to a
+    different (up) replica after primary failover.
+    """
+
+    retryable = True
 
     def __init__(self, osd_id: int):
-        super().__init__(f"osd.{osd_id} is full")
-        self.osd_id = osd_id
+        super().__init__(osd_id, f"osd.{osd_id} is down")
+
+
+class OsdFullError(OsdError):
+    """A write was refused because the OSD crossed its full ratio.
+
+    Fatal: retrying cannot free space — only deletion or rebalancing
+    can, so the error must surface to the caller immediately.
+    """
+
+    retryable = False
+
+    def __init__(self, osd_id: int, needed_bytes: int = 0, available_bytes: int = 0):
+        detail = ""
+        if needed_bytes:
+            detail = f" ({needed_bytes}B needed, {available_bytes}B under full ratio)"
+        super().__init__(osd_id, f"osd.{osd_id} is full{detail}")
+        self.needed_bytes = needed_bytes
+        self.available_bytes = available_bytes

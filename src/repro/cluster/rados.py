@@ -32,7 +32,7 @@ from .crush import CrushMap
 from .hardware import HardwareProfile, Nic
 from .objectstore import NoSuchObject, ObjectKey, StoredObject, Transaction
 from .osd import Node, OSD, OsdDownError
-from .pool import ErasureCoded, Pool, Replicated
+from .pool import Pool, Replicated
 
 __all__ = ["Client", "RadosCluster", "NotEnoughReplicas"]
 
@@ -50,7 +50,13 @@ def _shard_crc(shard: bytes) -> bytes:
 
 
 class NotEnoughReplicas(RuntimeError):
-    """Fewer than ``min_size`` copies/shards are writable or readable."""
+    """Fewer than ``min_size`` copies/shards are writable or readable.
+
+    Retryable: recovery or an OSD restart can restore the missing
+    copies, so a backed-off retry may find the PG healthy again.
+    """
+
+    retryable = True
 
 
 class _NodeAsClient:
@@ -68,6 +74,8 @@ class Client:
         self.sim = sim
         self.name = name
         self.nic = Nic(sim, profile.nic)
+        # The fault injector partitions hosts by NIC owner name.
+        self.nic.owner = name
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Client {self.name}>"
@@ -96,6 +104,9 @@ class RadosCluster:
         for h in range(num_hosts):
             self.add_host(f"host{h}", osds_per_host)
         self._default_client = Client(self.sim, "client0", self.profile)
+        #: Fault-injection hook (a FaultInjector, or None); consulted on
+        #: every inter-host transfer.
+        self.faults = None
         # RADOS orders mutations per object at the PG: concurrent writes
         # to one object serialise.
         self._write_locks: Dict[ObjectKey, Resource] = {}
@@ -160,7 +171,10 @@ class RadosCluster:
         return [self.osds[i] for i in pool.acting_set_for(oid)]
 
     def _up_subset(self, osds: Iterable[OSD]) -> List[OSD]:
-        return [o for o in osds if o.up]
+        # Replicas rejoining after a crash hold possibly-stale contents
+        # until recovery reconciles them; ordering them last keeps them
+        # out of the primary role (stable within each class).
+        return sorted((o for o in osds if o.up), key=lambda o: o.needs_backfill)
 
     def _primary(self, pool: Pool, oid: str) -> OSD:
         acting = self._acting_osds(pool, oid)
@@ -172,9 +186,15 @@ class RadosCluster:
     # -- network helper ---------------------------------------------------------
 
     def _transfer(self, src_nic: Nic, dst_nic: Nic, nbytes: int):
-        """Process: move ``nbytes`` between two NICs (store-and-forward)."""
+        """Process: move ``nbytes`` between two NICs (store-and-forward).
+
+        Raises :class:`~repro.faults.errors.NetworkPartitionError` when
+        a fault injector holds the two hosts partitioned.
+        """
         if src_nic is dst_nic:
             return
+        if self.faults is not None:
+            self.faults.check_link(src_nic, dst_nic)
         yield from src_nic.send(nbytes)
         yield self.sim.timeout(src_nic.spec.latency)
         yield from dst_nic.receive(nbytes)
@@ -192,6 +212,16 @@ class RadosCluster:
         reference counts, dirty flags, and data all travel in one
         transaction, so replication and recovery cover dedup metadata
         with no extra machinery (paper §4.1).
+
+        Replication is all-or-nothing: every replica first *prepares*
+        (transfers, charges device time, runs fault hooks — anything
+        that can fail), and only when all prepares succeed does the
+        transaction *commit* on each replica, instantly.  A transient
+        error or crash during prepare thus leaves no replica mutated,
+        so a caller's retry can never diverge the copies.  A replica
+        that dies between its prepare and the commit point is simply
+        skipped — it rejoins stale and recovery reconciles it, exactly
+        as for a crash before the write.
 
         On an erasure-coded pool any mutation is a full-stripe
         read-modify-write (decode, apply, re-encode, rewrite all
@@ -217,17 +247,30 @@ class RadosCluster:
             jobs = []
             for osd in up:
                 jobs.append(
-                    self.sim.process(self._replica_apply(primary, osd, txn, payload))
+                    self.sim.process(self._replica_prepare(primary, osd, txn, payload))
                 )
             yield self.sim.all_of(jobs)
+            # Commit point: all replicas prepared, none mutated yet.
+            # Applying is instantaneous, so no fault can interleave and
+            # split the copies.  An OSD that crashed after its prepare
+            # completed is skipped (it will rejoin stale and be
+            # reconciled by recovery), but losing quorum aborts.
+            survivors = [osd for osd in up if osd.up]
+            if len(survivors) < pool.redundancy.min_size:
+                raise NotEnoughReplicas(
+                    f"{len(survivors)}/{len(acting)} replicas survived prepare; "
+                    f"need {pool.redundancy.min_size}"
+                )
+            for osd in survivors:
+                osd.commit_transaction(txn)
         finally:
             lock.release()
         yield from self._rpc_latency()  # ack to client
 
-    def _replica_apply(self, primary: OSD, replica: OSD, txn: Transaction, payload: int):
+    def _replica_prepare(self, primary: OSD, replica: OSD, txn: Transaction, payload: int):
         if replica.node is not primary.node:
             yield from self._transfer(primary.node.nic, replica.node.nic, payload)
-        yield from replica.execute_transaction(txn)
+        yield from replica.prepare_transaction(txn)
         if replica is not primary:
             yield from self._rpc_latency()  # replica ack to primary
 
@@ -286,11 +329,29 @@ class RadosCluster:
             return data[offset : offset + length]
         client = client or self._default_client
         key = self.object_key(pool, oid)
-        primary = self._primary(pool, oid)
         yield from self._rpc_latency()  # request
-        data = yield from primary.execute_read(key, offset, length)
+        primary, data = yield from self._read_with_failover(pool, oid, key, offset, length)
         yield from self._transfer(primary.node.nic, client.nic, len(data))
         return data
+
+    def _read_with_failover(self, pool: Pool, oid: str, key: ObjectKey, offset, length):
+        """Process: read at the primary, failing over to the next up
+        replica if the primary dies between dispatch and execution.
+
+        Only :class:`OsdDownError` triggers failover — injected
+        transient errors are the *client's* retry layer's problem (Ceph
+        likewise re-peers on OSD death but returns EIO to the client).
+        """
+        last_exc: Optional[BaseException] = None
+        for _ in range(max(1, len(self._acting_osds(pool, oid)))):
+            primary = self._primary(pool, oid)
+            try:
+                data = yield from primary.execute_read(key, offset, length)
+                return primary, data
+            except OsdDownError as exc:
+                last_exc = exc
+                yield from self._rpc_latency()  # redirect to next replica
+        raise last_exc
 
     # -- metadata access -----------------------------------------------------------
 
@@ -390,7 +451,7 @@ class RadosCluster:
         yield from primary.node.cpu.execute(primary.node.cpu.spec.ec_time(len(data)))
         shards = pool.codec.encode(data)
         internal = (_EC_LEN_XATTR, _EC_IDX_XATTR, _EC_CRC_XATTR)
-        jobs = []
+        planned = []
         for idx, osd in enumerate(slots):
             if osd is None:
                 continue  # degraded: this shard is skipped until recovery
@@ -417,12 +478,18 @@ class RadosCluster:
                 txn.setxattr(key, name, value)
             if omap:
                 txn.omap_set(key, omap)
-            jobs.append(
-                self.sim.process(
-                    self._replica_apply(primary, osd, txn, len(shards[idx]))
-                )
-            )
+            planned.append((osd, txn, len(shards[idx])))
+        # Same two-phase shape as replicated submit: prepare every
+        # shard (can fail), then commit instantly so a mid-stripe fault
+        # cannot leave mixed-generation shards behind.
+        jobs = [
+            self.sim.process(self._replica_prepare(primary, osd, txn, nbytes))
+            for osd, txn, nbytes in planned
+        ]
         yield self.sim.all_of(jobs)
+        for osd, txn, _ in planned:
+            if osd.up:
+                osd.commit_transaction(txn)
 
     def _ec_read(self, pool: Pool, oid: str, client: Optional[Client]):
         client = client or self._default_client
@@ -593,6 +660,21 @@ class RadosCluster:
         it.
         """
         self.osds[osd_id].store = type(self.osds[osd_id].store)()
+        self.osds[osd_id].needs_backfill = False
+        self.cluster_map.mark_up(osd_id)
+        self.cluster_map.mark_in(osd_id)
+
+    def restart_osd(self, osd_id: int) -> None:
+        """Bring a crashed OSD back with its disk contents *intact*.
+
+        Models a daemon restart (Ceph's down-but-in window): the disk
+        survived, but any write that landed while the OSD was down is
+        missing from it, and any object deleted meanwhile still lingers.
+        The OSD rejoins flagged ``needs_backfill``; it is kept out of
+        the primary role until :func:`~repro.cluster.recovery.recover`
+        reconciles its contents against the continuously-up replicas.
+        """
+        self.osds[osd_id].needs_backfill = True
         self.cluster_map.mark_up(osd_id)
         self.cluster_map.mark_in(osd_id)
 

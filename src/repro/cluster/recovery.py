@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from .objectstore import ObjectKey, StoredObject
-from .osd import OSD
+from .osd import OSD, OsdDownError, OsdFullError
 from .pool import Pool
 from .rados import RadosCluster, _EC_IDX_XATTR, _EC_LEN_XATTR
 
@@ -34,6 +34,12 @@ class RecoveryStats:
     bytes_moved: int = 0
     objects_lost: int = 0
     objects_deleted: int = 0
+    #: Stale copies on restarted (needs_backfill) OSDs overwritten from
+    #: a continuously-up replica.
+    objects_reconciled: int = 0
+    #: Copy/reconstruct tasks abandoned because a device failed mid-task
+    #: (a later recovery pass picks the object up again).
+    tasks_failed: int = 0
     started_at: float = 0.0
     finished_at: float = 0.0
 
@@ -48,6 +54,9 @@ class _CopyTask:
     key: ObjectKey
     target: OSD
     source: Optional[OSD] = None  # replicated copy
+    #: True when overwriting a stale copy on a restarted OSD (counted
+    #: as reconciliation, not plain recovery).
+    reconcile: bool = False
     ec_pool: Optional[Pool] = None  # EC reconstruction
     ec_index: int = -1
     ec_length: int = 0
@@ -57,6 +66,11 @@ class _CopyTask:
     #: plan is computed at a single simulated instant, so the snapshot
     #: is consistent).
     ec_sources: List[Tuple[int, OSD, bytes]] = field(default_factory=list)
+
+
+def _same_content(a: StoredObject, b: StoredObject) -> bool:
+    """Whether two replicas carry identical payload and metadata."""
+    return a.data == b.data and a.xattrs == b.xattrs and a.omap == b.omap
 
 
 def _object_union(cluster: RadosCluster, pool: Pool) -> Dict[int, Set[str]]:
@@ -95,10 +109,30 @@ def plan_recovery(cluster: RadosCluster) -> Tuple[List[_CopyTask], List[Tuple[OS
                     for osd in cluster.osds.values()
                     if osd.up and osd.store.exists(key)
                 ]
+                # Copies on continuously-up OSDs are authoritative; a
+                # restarted (needs_backfill) OSD's copy may predate the
+                # outage or outlive a deletion that happened during it.
+                clean_holders = [o for o in holders if not o.needs_backfill]
+                if holders and not clean_holders:
+                    witnesses = [
+                        o for o in acting if o.up and not o.needs_backfill
+                    ]
+                    if witnesses:
+                        # Every continuously-up acting replica lacks the
+                        # object: it was deleted while the stale holders
+                        # were down.  Drop the lingering copies instead
+                        # of resurrecting the object.
+                        for osd in holders:
+                            deletions.append((osd, key))
+                        continue
                 if pool.is_ec:
-                    # Snapshot one source shard per distinct index.
+                    # Snapshot one source shard per distinct index,
+                    # preferring clean holders so a stale shard is never
+                    # mixed into a decode when enough fresh ones exist.
                     by_idx: Dict[int, Tuple[OSD, bytes]] = {}
-                    for osd in holders:
+                    for osd in clean_holders + [
+                        o for o in holders if o.needs_backfill
+                    ]:
                         idx = int(
                             osd.store.getxattr(key, _EC_IDX_XATTR).decode("ascii")
                         )
@@ -107,7 +141,9 @@ def plan_recovery(cluster: RadosCluster) -> Tuple[List[_CopyTask], List[Tuple[OS
                         lost += 1
                         continue
                     length = int(
-                        holders[0].store.getxattr(key, _EC_LEN_XATTR).decode("ascii")
+                        (clean_holders or holders)[0]
+                        .store.getxattr(key, _EC_LEN_XATTR)
+                        .decode("ascii")
                     )
                     sources = [
                         (idx, osd, shard)
@@ -116,16 +152,22 @@ def plan_recovery(cluster: RadosCluster) -> Tuple[List[_CopyTask], List[Tuple[OS
                     for idx, target in enumerate(acting):
                         if not target.up:
                             continue
+                        reconcile = False
                         if target.store.exists(key):
                             have = int(
                                 target.store.getxattr(key, _EC_IDX_XATTR).decode("ascii")
                             )
                             if have == idx:
-                                continue
+                                if not target.needs_backfill:
+                                    continue
+                                # Right slot, possibly stale bytes:
+                                # rebuild the shard from clean sources.
+                                reconcile = True
                         tasks.append(
                             _CopyTask(
                                 key=key,
                                 target=target,
+                                reconcile=reconcile,
                                 ec_pool=pool,
                                 ec_index=idx,
                                 ec_length=length,
@@ -133,16 +175,32 @@ def plan_recovery(cluster: RadosCluster) -> Tuple[List[_CopyTask], List[Tuple[OS
                             )
                         )
                 else:
-                    sources = holders
-                    if not sources:
+                    if not holders:
                         lost += 1
                         continue
+                    source = (clean_holders or holders)[0]
                     for target in acting:
-                        if not target.up or target.store.exists(key):
+                        if not target.up:
                             continue
-                        tasks.append(
-                            _CopyTask(key=key, target=target, source=sources[0])
-                        )
+                        if target.store.exists(key):
+                            if target is source or not target.needs_backfill:
+                                continue
+                            if _same_content(
+                                target.store.get(key), source.store.get(key)
+                            ):
+                                continue
+                            tasks.append(
+                                _CopyTask(
+                                    key=key,
+                                    target=target,
+                                    source=source,
+                                    reconcile=True,
+                                )
+                            )
+                        else:
+                            tasks.append(
+                                _CopyTask(key=key, target=target, source=source)
+                            )
                 # Objects parked on OSDs no longer in the acting set.
                 for osd in holders:
                     if osd.osd_id not in acting_ids:
@@ -151,7 +209,12 @@ def plan_recovery(cluster: RadosCluster) -> Tuple[List[_CopyTask], List[Tuple[OS
 
 
 def recover(cluster: RadosCluster, stats: Optional[RecoveryStats] = None):
-    """Process: heal the cluster to match the current map; returns stats."""
+    """Process: heal the cluster to match the current map; returns stats.
+
+    Restarted OSDs (``needs_backfill``) are reconciled against the
+    continuously-up replicas and their flags cleared, so by the time
+    this returns every up replica of every object is identical again.
+    """
     stats = stats if stats is not None else RecoveryStats()
     stats.started_at = cluster.sim.now
     tasks, deletions, lost = plan_recovery(cluster)
@@ -163,15 +226,32 @@ def recover(cluster: RadosCluster, stats: Optional[RecoveryStats] = None):
         if osd.store.exists(key):
             osd.store.delete_object(key)
             stats.objects_deleted += 1
+    if stats.tasks_failed == 0:
+        for osd in cluster.osds.values():
+            if osd.up and osd.needs_backfill:
+                osd.needs_backfill = False
     stats.finished_at = cluster.sim.now
     return stats
 
 
 def _run_task(cluster: RadosCluster, task: _CopyTask, stats: RecoveryStats):
-    if task.ec_pool is None:
-        yield from _copy_object(cluster, task, stats)
-    else:
-        yield from _reconstruct_shard(cluster, task, stats)
+    """Process: one recovery task, tolerant of devices failing mid-task.
+
+    A source or target dying (or an injected transient error / full
+    OSD) abandons this task only — the rest of the recovery proceeds,
+    and the next pass re-plans whatever is still missing.
+    """
+    try:
+        if task.ec_pool is None:
+            yield from _copy_object(cluster, task, stats)
+        else:
+            yield from _reconstruct_shard(cluster, task, stats)
+    except (OsdDownError, OsdFullError):
+        stats.tasks_failed += 1
+    except Exception as exc:
+        if not getattr(exc, "retryable", False):
+            raise
+        stats.tasks_failed += 1
 
 
 def _charge_shard_read(cluster: RadosCluster, holder: OSD, target: OSD, nbytes: int):
@@ -183,7 +263,8 @@ def _charge_shard_read(cluster: RadosCluster, holder: OSD, target: OSD, nbytes: 
 
 def _copy_object(cluster: RadosCluster, task: _CopyTask, stats: RecoveryStats):
     source, target, key = task.source, task.target, task.key
-    if not source.store.exists(key):  # raced with another task/deletion
+    if not source.up or not source.store.exists(key):  # raced with a failure/deletion
+        stats.tasks_failed += 1
         return
     obj = source.store.get(key).clone()
     # Punched ranges (evicted cached chunks) cost nothing to move: only
@@ -194,7 +275,10 @@ def _copy_object(cluster: RadosCluster, task: _CopyTask, stats: RecoveryStats):
     if source.node is not target.node:
         yield from cluster._transfer(source.node.nic, target.node.nic, moved)
     yield from target.execute_push(key, obj)
-    stats.objects_recovered += 1
+    if task.reconcile:
+        stats.objects_reconciled += 1
+    else:
+        stats.objects_recovered += 1
     stats.bytes_moved += moved
 
 
@@ -222,7 +306,10 @@ def _reconstruct_shard(cluster: RadosCluster, task: _CopyTask, stats: RecoverySt
         },
     )
     yield from target.execute_push(key, obj)
-    stats.objects_recovered += 1
+    if task.reconcile:
+        stats.objects_reconciled += 1
+    else:
+        stats.objects_recovered += 1
     stats.bytes_moved += len(shard)
 
 

@@ -18,7 +18,7 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import List, Tuple
 
-from .objectstore import ObjectKey, StoredObject
+from .objectstore import StoredObject
 from .pool import Pool
 from .rados import RadosCluster, _EC_IDX_XATTR, _EC_LEN_XATTR
 
@@ -145,7 +145,7 @@ def repair_pool(cluster: RadosCluster, pool: Pool, report: ReplicaScrubReport):
                     if shard_idx == idx:
                         osd.store.delete_object(key)
                         repaired += 1
-        stats = yield from recover(cluster)
+        yield from recover(cluster)
         return repaired
     for oid, osd_id in report.inconsistent + report.missing:
         key = cluster.object_key(pool, oid)

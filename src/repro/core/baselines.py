@@ -15,7 +15,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, Optional, Set
 
 from ..chunking import StaticChunker
 from ..cluster import NoSuchObject, Pool, RadosCluster, Transaction

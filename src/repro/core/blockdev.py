@@ -10,7 +10,6 @@ reads/writes into per-object operations issued in parallel.
 
 from __future__ import annotations
 
-from typing import Optional
 
 __all__ = ["BlockDevice"]
 

@@ -14,7 +14,7 @@ simple") bounds the total cached bytes when a capacity is configured.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from ..sim import Simulator
 from ..util import BloomFilter

@@ -64,6 +64,8 @@ class DedupedStorage:
         self.config = self.tier.config
         self.engine = DedupEngine(self.tier)
         self.flush_on_write = flush_on_write
+        #: The attached :class:`~repro.faults.FaultInjector`, if any.
+        self.faults = None
         # Reads of hot, evicted objects trigger background promotion.
         self.tier.on_hot_read = lambda oid: self.sim.process(
             self.engine.promote_object(oid)
@@ -75,6 +77,20 @@ class DedupedStorage:
     def sim(self):
         """The simulation clock everything runs on."""
         return self.cluster.sim
+
+    def inject_faults(self, plan, auto_recover: bool = True):
+        """Attach a :class:`~repro.faults.FaultInjector` for ``plan``.
+
+        The plan's events are scheduled on the simulation clock
+        immediately; they fire as the clock advances through them.
+        Returns the injector (for its counters and ``heal_all``).
+        """
+        from ..faults import FaultInjector
+
+        injector = FaultInjector(self.cluster, plan, auto_recover=auto_recover)
+        injector.attach()
+        self.faults = injector
+        return injector
 
     # -- async API (simulation processes) ------------------------------------
 

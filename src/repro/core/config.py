@@ -97,6 +97,22 @@ class DedupConfig:
     #: deduplication threads periodically conduct a deduplication job").
     engine_workers: int = 8
 
+    #: Retry/backoff plumbing (see ``repro.faults.retry``): transient
+    #: substrate errors (injected EIO, partitions, degraded PGs) are
+    #: retried up to ``retry_max_attempts`` total attempts, sleeping
+    #: ``retry_base_delay * retry_backoff**(n-1)`` (capped at
+    #: ``retry_max_delay``) before attempt n+1.
+    retry_max_attempts: int = 4
+    retry_base_delay: float = 0.002
+    retry_backoff: float = 2.0
+    retry_max_delay: float = 0.25
+    #: Per-attempt deadline in simulated seconds; ``None`` disables the
+    #: deadline race (an op then runs until it finishes or fails).
+    op_timeout: Optional[float] = None
+    #: How long a dedup pass that hit a fault waits before the object is
+    #: retried from the dirty list (skip-and-requeue degradation).
+    fault_requeue_delay: float = 0.2
+
     def __post_init__(self):
         if self.chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size}")
@@ -125,3 +141,15 @@ class DedupConfig:
             raise ValueError(
                 f"compress_level must be 0..9, got {self.compress_level}"
             )
+        if self.retry_max_attempts < 1:
+            raise ValueError(
+                f"retry_max_attempts must be >= 1, got {self.retry_max_attempts}"
+            )
+        if self.retry_base_delay < 0 or self.retry_max_delay < 0:
+            raise ValueError("retry delays must be >= 0")
+        if self.retry_backoff < 1.0:
+            raise ValueError(f"retry_backoff must be >= 1, got {self.retry_backoff}")
+        if self.op_timeout is not None and self.op_timeout <= 0:
+            raise ValueError(f"op_timeout must be positive, got {self.op_timeout}")
+        if self.fault_requeue_delay < 0:
+            raise ValueError("fault_requeue_delay must be >= 0")

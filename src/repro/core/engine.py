@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..cluster import Transaction
+from ..faults.errors import is_retryable
 from ..fingerprint import fingerprint
 from .objects import CHUNK_MAP_XATTR, ChunkRef
 from .refcount import make_refcounter
@@ -46,6 +47,12 @@ class EngineStats:
     objects_processed: int = 0
     objects_skipped_hot: int = 0
     objects_aborted_race: int = 0
+    #: Passes abandoned because the substrate faulted mid-pass (the
+    #: object is requeued; references taken this pass are released).
+    objects_requeued_fault: int = 0
+    #: Dereferences skipped because the substrate faulted; the chunk is
+    #: left over-retained for the offline GC (never dangling).
+    derefs_deferred_fault: int = 0
     chunks_flushed: int = 0
     chunks_deduped: int = 0
     bytes_flushed: int = 0
@@ -96,7 +103,17 @@ class DedupEngine:
             if oid is None:
                 yield self.sim.timeout(self.config.dedup_interval)
                 continue
-            yield from self.process_object(oid)
+            try:
+                yield from self.process_object(oid)
+            except Exception as exc:
+                # Graceful degradation: a transient substrate fault must
+                # never kill a background worker — requeue the object and
+                # keep draining.  Non-retryable errors are real bugs and
+                # stay loud.
+                if not is_retryable(exc):
+                    raise
+                self.stats.objects_requeued_fault += 1
+                self.tier.requeue_dirty(oid, delay=self.config.fault_requeue_delay)
 
     # -- one object -------------------------------------------------------------
 
@@ -144,89 +161,124 @@ class DedupEngine:
         taken = []  # (chunk_id, ref) references acquired this pass
         pending_derefs = []  # old chunks to release once the map commits
         changed = False
-        for idx in cmap.dirty_indices():
-            entry = cmap.get(idx)
-            if not entry.cached:
-                # Dirty implies cached by construction; tolerate anyway.
-                entry.dirty = False
-                changed = True
-                continue
-            if entry.fully_cached():
-                data = yield from tier.read_local_chunk(
-                    oid, entry.offset, entry.length
-                )
-            else:
-                # Deferred read-modify-write: merge the cached pieces
-                # with the old chunk object's bytes.  This is the
-                # "reading data for flush" background cost the paper
-                # lists for the Proposed system — paid here, not on the
-                # foreground write path.
-                buf = bytearray(entry.length)
-                for seg_start, seg_end in entry.valid:
-                    part = yield from tier.read_local_chunk(
-                        oid, entry.offset + seg_start, seg_end - seg_start
+        try:
+            for idx in cmap.dirty_indices():
+                entry = cmap.get(idx)
+                if not entry.cached:
+                    # Dirty implies cached by construction; tolerate anyway.
+                    entry.dirty = False
+                    changed = True
+                    continue
+                if entry.fully_cached():
+                    data = yield from tier.read_local_chunk(
+                        oid, entry.offset, entry.length
                     )
-                    buf[seg_start : seg_start + len(part)] = part
-                if entry.chunk_id:
-                    for seg_start, seg_end in entry.missing_ranges():
-                        part = yield from tier.read_chunk(
-                            entry.chunk_id, seg_start, seg_end - seg_start, via
+                else:
+                    # Deferred read-modify-write: merge the cached pieces
+                    # with the old chunk object's bytes.  This is the
+                    # "reading data for flush" background cost the paper
+                    # lists for the Proposed system — paid here, not on the
+                    # foreground write path.
+                    buf = bytearray(entry.length)
+                    for seg_start, seg_end in entry.valid:
+                        part = yield from tier.read_local_chunk(
+                            oid, entry.offset + seg_start, seg_end - seg_start
                         )
                         buf[seg_start : seg_start + len(part)] = part
-                data = bytes(buf)
-            yield from primary.node.cpu.fingerprint(len(data))
-            fp = fingerprint(data, self.config.fingerprint_algorithm)
-            ref = ChunkRef(tier.metadata_pool.pool_id, oid, entry.offset)
-            if entry.chunk_id and entry.chunk_id != fp:
-                # §4.4.1 step 3: the entry stops referencing its old
-                # chunk object.  The actual dereference is deferred
-                # until the chunk-map update commits: a partially-cached
-                # entry still *needs* the old chunk for its missing
-                # ranges if this pass aborts on a foreground race.
-                pending_derefs.append((entry.chunk_id, ref))
-            if entry.chunk_id != fp:
-                stored = yield from tier.chunk_ref(fp, ref, data, via)
-                taken.append((fp, ref))
-                if stored:
-                    self.stats.chunks_flushed += 1
-                    self.stats.bytes_flushed += len(data)
+                    if entry.chunk_id:
+                        for seg_start, seg_end in entry.missing_ranges():
+                            part = yield from tier.read_chunk(
+                                entry.chunk_id, seg_start, seg_end - seg_start, via
+                            )
+                            buf[seg_start : seg_start + len(part)] = part
+                    data = bytes(buf)
+                yield from primary.node.cpu.fingerprint(len(data))
+                fp = fingerprint(data, self.config.fingerprint_algorithm)
+                ref = ChunkRef(tier.metadata_pool.pool_id, oid, entry.offset)
+                if entry.chunk_id and entry.chunk_id != fp:
+                    # §4.4.1 step 3: the entry stops referencing its old
+                    # chunk object.  The actual dereference is deferred
+                    # until the chunk-map update commits: a partially-cached
+                    # entry still *needs* the old chunk for its missing
+                    # ranges if this pass aborts on a foreground race.
+                    pending_derefs.append((entry.chunk_id, ref))
+                if entry.chunk_id != fp:
+                    stored = yield from tier.chunk_ref(fp, ref, data, via)
+                    taken.append((fp, ref))
+                    if stored:
+                        self.stats.chunks_flushed += 1
+                        self.stats.bytes_flushed += len(data)
+                    else:
+                        self.stats.chunks_deduped += 1
+                        self.stats.bytes_deduped += len(data)
+                entry.chunk_id = fp
+                entry.dirty = False
+                if tier.cache.keep_cached_on_flush(oid):
+                    if not entry.fully_cached():
+                        # Materialise the merged chunk in the cache.
+                        txn.write(key, entry.offset, data)
+                        entry.set_fully_valid()
+                        tier.cache.note_cached(oid, idx, entry.length)
                 else:
-                    self.stats.chunks_deduped += 1
-                    self.stats.bytes_deduped += len(data)
-            entry.chunk_id = fp
-            entry.dirty = False
-            if tier.cache.keep_cached_on_flush(oid):
-                if not entry.fully_cached():
-                    # Materialise the merged chunk in the cache.
-                    txn.write(key, entry.offset, data)
-                    entry.set_fully_valid()
-                    tier.cache.note_cached(oid, idx, entry.length)
-            else:
-                txn.zero(key, entry.offset, entry.length)
-                entry.clear_valid()
-                tier.cache.note_evicted(oid, idx)
-                self.stats.chunks_evicted += 1
-            changed = True
-        if changed and cmap.cached_indices() == []:
-            # Paper Figure 8, "object 2": when no chunk remains cached,
-            # the metadata object holds no data at all — only metadata.
-            txn.truncate(key, 0)
-        if tier.seq(oid) != seq_at_start:
-            # A foreground write landed mid-pass: our map view is stale.
-            # Undo the references we took and retry later; dirty bits in
-            # the (authoritative) stored map still cover the new data.
-            for fp, ref in taken:
-                yield from tier.chunk_deref(fp, ref, via)
-            self.stats.objects_aborted_race += 1
-            tier.mark_dirty(oid)
-            return "raced"
-        if changed:
-            txn.setxattr(key, CHUNK_MAP_XATTR, cmap.serialize())
-            yield from tier.cluster.submit(tier.metadata_pool, oid, txn, via)
+                    txn.zero(key, entry.offset, entry.length)
+                    entry.clear_valid()
+                    tier.cache.note_evicted(oid, idx)
+                    self.stats.chunks_evicted += 1
+                changed = True
+            if changed and cmap.cached_indices() == []:
+                # Paper Figure 8, "object 2": when no chunk remains cached,
+                # the metadata object holds no data at all — only metadata.
+                txn.truncate(key, 0)
+            if tier.seq(oid) != seq_at_start:
+                # A foreground write landed mid-pass: our map view is stale.
+                # Undo the references we took and retry later; dirty bits in
+                # the (authoritative) stored map still cover the new data.
+                yield from self._undo_refs(taken, via)
+                self.stats.objects_aborted_race += 1
+                tier.mark_dirty(oid)
+                return "raced"
+            if changed:
+                txn.setxattr(key, CHUNK_MAP_XATTR, cmap.serialize())
+                yield from tier.cluster.submit(tier.metadata_pool, oid, txn, via)
+        except Exception as exc:
+            # Skip-and-requeue degradation: a fault mid-pass (after the
+            # I/O path's retries gave up) abandons the pass *before* the
+            # chunk map commits — the dirty bits stay authoritative, so
+            # nothing is lost.  References taken this pass are released;
+            # the object comes back via the dirty list.
+            if not is_retryable(exc):
+                raise
+            yield from self._undo_refs(taken, via)
+            self.stats.objects_requeued_fault += 1
+            tier.requeue_dirty(oid, delay=self.config.fault_requeue_delay)
+            return "faulted"
         for old_id, ref in pending_derefs:
-            yield from self.refcount.deref(old_id, ref, via)
+            try:
+                yield from self.refcount.deref(old_id, ref, via)
+            except Exception as exc:
+                if not is_retryable(exc):
+                    raise
+                # The map already committed, so the old reference is
+                # merely over-retained — never dangling.  Offline GC
+                # reclaims it.
+                self.stats.derefs_deferred_fault += 1
         self.stats.objects_processed += 1
         return "done"
+
+    def _undo_refs(self, taken, via):
+        """Process: best-effort release of references taken this pass.
+
+        A dereference that itself faults leaves an *over*-retained
+        reference (safe: the offline GC reclaims it); the refcount
+        invariant "never dangling" holds either way.
+        """
+        for fp, ref in taken:
+            try:
+                yield from self.tier.chunk_deref(fp, ref, via)
+            except Exception as exc:
+                if not is_retryable(exc):
+                    raise
+                self.stats.derefs_deferred_fault += 1
 
     # -- cache maintenance -----------------------------------------------------------
 
@@ -263,6 +315,12 @@ class DedupEngine:
                     data = yield from tier.read_chunk(
                         entry.chunk_id, 0, entry.length, via
                     )
+                    if len(data) < entry.length:
+                        # Short read (e.g. a replica still being
+                        # reconciled): caching it would serve the gap as
+                        # zeros forever.  Skip the entry; a later pass
+                        # can promote it once the chunk reads whole.
+                        continue
                     txn.write(key, entry.offset, data)
                     entry.set_fully_valid()
                     tier.cache.note_cached(

@@ -57,19 +57,26 @@ def _read_cached_piece(tier, oid, offset, length, client):
     them to the client (original-system read cost).
 
     On an erasure-coded metadata pool the payload is sharded, so the
-    read goes through the EC decode path instead.
+    read goes through the EC decode path instead.  Retried under the
+    tier's policy: a primary dying mid-read re-resolves to the next
+    acting replica on the following attempt.
     """
     cluster = tier.cluster
     client = client or cluster._default_client
-    if tier.metadata_pool.is_ec:
-        data = yield from cluster.read(
-            tier.metadata_pool, oid, offset, length, client
-        )
+
+    def attempt():
+        if tier.metadata_pool.is_ec:
+            data = yield from cluster.read(
+                tier.metadata_pool, oid, offset, length, client
+            )
+            return data
+        primary = cluster._primary(tier.metadata_pool, oid)
+        key = tier.metadata_key(oid)
+        data = yield from primary.execute_read(key, offset, length)
+        yield from cluster._transfer(primary.node.nic, client.nic, len(data))
         return data
-    primary = cluster._primary(tier.metadata_pool, oid)
-    key = tier.metadata_key(oid)
-    data = yield from primary.execute_read(key, offset, length)
-    yield from cluster._transfer(primary.node.nic, client.nic, len(data))
+
+    data = yield from tier.retrying(attempt, op="read_cached")
     return data
 
 
@@ -79,9 +86,14 @@ def _read_chunk_piece(tier, chunk_id, offset, length, client):
     chunks compressed) and returns the data to the client."""
     cluster = tier.cluster
     client = client or cluster._default_client
-    # Forwarding hop: metadata primary -> chunk primary.
-    yield tier.sim.timeout(cluster.profile.nic.latency)
-    data = yield from tier.read_chunk(chunk_id, offset, length, client)
+
+    def attempt():
+        # Forwarding hop: metadata primary -> chunk primary.
+        yield tier.sim.timeout(cluster.profile.nic.latency)
+        data = yield from tier.read_chunk(chunk_id, offset, length, client)
+        return data
+
+    data = yield from tier.retrying(attempt, op="read_chunk")
     return data
 
 
@@ -149,8 +161,11 @@ def _write_locked(tier: DedupTier, oid: str, offset: int, data: bytes, client):
                 # pre-read from the chunk object (the paper's pre-read
                 # corner case; common sub-chunk writes never hit it —
                 # the read-modify-write is deferred to the engine).
-                chunk_bytes = yield from tier.read_chunk(
-                    entry.chunk_id, 0, entry.length, client
+                chunk_bytes = yield from tier.retrying(
+                    lambda cid=entry.chunk_id, ln=entry.length: tier.read_chunk(
+                        cid, 0, ln, client
+                    ),
+                    op="preread",
                 )
                 chunk_bytes = chunk_bytes + b"\x00" * (
                     entry.length - len(chunk_bytes)
@@ -168,7 +183,11 @@ def _write_locked(tier: DedupTier, oid: str, offset: int, data: bytes, client):
         )
     txn.write(key, offset, data)
     txn.setxattr(key, CHUNK_MAP_XATTR, cmap.serialize())
-    yield from cluster.submit(pool, oid, txn, client)
+    # Safe to retry: the transaction writes absolute offsets, so a
+    # replay after a partial failure converges to the same state.
+    yield from tier.retrying(
+        lambda: cluster.submit(pool, oid, txn, client), op="meta_write"
+    )
     tier.bump_seq(oid)
     tier.mark_dirty(oid)
     tier.fg_window.note(len(data))
@@ -192,14 +211,24 @@ def delete_path(tier: DedupTier, oid: str, client=None):
             raise NoSuchObject(oid)
         key = tier.metadata_key(oid)
         cluster = tier.cluster
-        yield from cluster.submit(
-            tier.metadata_pool, oid, Transaction().remove(key), client
+        # Removing an already-removed object is a no-op, so the delete
+        # and each dereference below are idempotent under retry.
+        yield from tier.retrying(
+            lambda: cluster.submit(
+                tier.metadata_pool, oid, Transaction().remove(key), client
+            ),
+            op="meta_delete",
         )
         tier.bump_seq(oid)
         via = client
         for entry in cmap:
             if entry.chunk_id:
-                yield from tier.chunk_deref(entry.chunk_id, entry_ref(tier, oid, entry), via)
+                yield from tier.retrying(
+                    lambda cid=entry.chunk_id, e=entry: tier.chunk_deref(
+                        cid, entry_ref(tier, oid, e), via
+                    ),
+                    op="chunk_deref",
+                )
             idx = entry.offset // tier.config.chunk_size
             tier.cache.note_evicted(oid, idx)
         tier.fg_window.note(0)

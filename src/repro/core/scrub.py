@@ -21,9 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Set, Tuple
 
-from ..cluster import Transaction
 from ..fingerprint import fingerprint
-from .objects import CHUNK_MAP_XATTR, ChunkRef, RefSet
+from .objects import ChunkRef, RefSet
 from .tier import DedupTier, NodeClient
 
 __all__ = ["ScrubReport", "scrub", "scrub_sync", "GcReport", "collect_garbage", "collect_garbage_sync"]

@@ -8,8 +8,10 @@ per-pool raw usage, and the space-saving summary.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
+from ..faults.injector import FaultStats
+from ..faults.retry import RetryStats
 from .engine import EngineStats
 from .tier import SpaceReport
 
@@ -34,6 +36,9 @@ class DedupStatus:
     rate_ratio: int = 0
     pool_raw_bytes: Dict[str, int] = field(default_factory=dict)
     space: SpaceReport = field(default_factory=SpaceReport)
+    retry: RetryStats = field(default_factory=RetryStats)
+    #: Populated only when a fault injector is attached.
+    faults: Optional[FaultStats] = None
 
     def summary_lines(self):
         """Human-readable one-screen summary."""
@@ -54,7 +59,10 @@ class DedupStatus:
             f"logical data       {space.logical_bytes} bytes",
             f"stored (data+meta) {space.stored_bytes} bytes"
             f" -> dedup ratio {100 * space.actual_dedup_ratio:.1f}%",
-        ]
+            f"retries            {self.retry.retries} retries,"
+            f" {self.retry.timeouts} timeouts, {self.retry.giveups} giveups"
+            f" ({self.engine.objects_requeued_fault} engine requeues)",
+        ] + ([] if self.faults is None else self.faults.summary_lines())
 
 
 def collect_status(storage) -> DedupStatus:
@@ -80,4 +88,6 @@ def collect_status(storage) -> DedupStatus:
             tier.chunk_pool.name: storage.cluster.pool_used_bytes(tier.chunk_pool),
         },
         space=tier.space_report(),
+        retry=tier.retry_stats,
+        faults=(storage.faults.stats if getattr(storage, "faults", None) else None),
     )

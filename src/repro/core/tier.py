@@ -16,13 +16,12 @@ chunk pool.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Deque, Dict, Optional, Set
 
 from ..chunking import StaticChunker
 from ..compression import ZlibCodec
 from ..cluster import (
-    NoSuchObject,
     ObjectKey,
     PER_OBJECT_OVERHEAD,
     Pool,
@@ -30,6 +29,7 @@ from ..cluster import (
     Replicated,
     Transaction,
 )
+from ..faults.retry import RetryPolicy, RetryStats, call_with_retries
 from ..sim import Resource
 from .config import DedupConfig
 from .cache import CacheManager
@@ -120,6 +120,10 @@ class DedupTier:
         self.cache = CacheManager(cluster.sim, self.config)
         self.fg_window = OpWindow(cluster.sim)
         self.rate = RateController(cluster.sim, self.fg_window, self.config)
+        #: Retry/backoff plumbing for transient substrate faults; every
+        #: I/O-path and engine op funnels through :meth:`retrying`.
+        self.retry_policy = RetryPolicy.from_config(self.config)
+        self.retry_stats = RetryStats()
         # Dirty object ID list (paper Figure 8). In-memory, rebuildable
         # from the dirty bits persisted in every chunk map.
         self._dirty_queue: Deque[str] = deque()
@@ -147,6 +151,18 @@ class DedupTier:
     def sim(self):
         """The cluster's simulator."""
         return self.cluster.sim
+
+    def retrying(self, factory, op: str = "op"):
+        """Process: run ``factory()`` under the tier's retry policy.
+
+        ``factory`` must build a *fresh* op generator per call (each
+        attempt needs its own); see
+        :func:`repro.faults.retry.call_with_retries`.
+        """
+        result = yield from call_with_retries(
+            self.sim, self.retry_policy, factory, self.retry_stats, op=op
+        )
+        return result
 
     # -- dirty object ID list -------------------------------------------------
 

@@ -1,0 +1,79 @@
+"""Typed fault errors and the retryable/fatal classification.
+
+Every error the fault layer can inject — and every substrate error the
+retry layer may encounter — carries a boolean ``retryable`` attribute:
+
+* **retryable** — transient by construction (injected EIO, op timeout,
+  network partition) or transient by system design (an OSD that is down
+  may come back; a degraded PG heals after recovery).  The retry layer
+  backs off and tries again.
+* **fatal** — retrying cannot help (an OSD over its full ratio stays
+  full until something is deleted).  The error propagates immediately.
+
+The classification is attribute-based rather than type-based so the
+``cluster`` package never has to import this module (and vice versa):
+:class:`~repro.cluster.osd.OsdDownError` et al. simply declare their own
+``retryable`` attribute.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "FaultError",
+    "TransientOpError",
+    "OpTimeoutError",
+    "NetworkPartitionError",
+    "is_retryable",
+]
+
+
+class FaultError(RuntimeError):
+    """Base class for errors raised by the fault injector."""
+
+    #: Whether a retry-with-backoff can reasonably succeed.
+    retryable = True
+
+
+class TransientOpError(FaultError):
+    """An injected transient device error (the simulated EIO).
+
+    Real SSDs return occasional media errors that succeed on retry;
+    the injector raises this from an OSD's execute path before any
+    state is mutated, so a retry observes an untouched store.
+    """
+
+    def __init__(self, osd_id: int, op: str):
+        super().__init__(f"injected EIO on osd.{osd_id} during {op}")
+        self.osd_id = osd_id
+        self.op = op
+
+
+class OpTimeoutError(FaultError):
+    """An operation exceeded its per-op deadline and was abandoned.
+
+    Raised by the retry layer (not the injector): the in-flight op is
+    interrupted and the attempt is charged as failed.
+    """
+
+    def __init__(self, op: str, timeout: float):
+        super().__init__(f"{op} timed out after {timeout:.4f}s")
+        self.op = op
+        self.timeout = timeout
+
+
+class NetworkPartitionError(FaultError):
+    """A transfer was attempted across a partitioned host pair."""
+
+    def __init__(self, src: str, dst: str):
+        super().__init__(f"network partition between {src!r} and {dst!r}")
+        self.src = src
+        self.dst = dst
+
+
+def is_retryable(exc: BaseException) -> bool:
+    """Whether the retry layer should re-attempt after ``exc``.
+
+    Looks only at the ``retryable`` attribute, defaulting to False:
+    unknown errors (bugs, assertion failures) must surface, not loop.
+    """
+    return bool(getattr(exc, "retryable", False))

@@ -1,0 +1,187 @@
+"""Deterministic fault schedules.
+
+A :class:`FaultPlan` is an ordered list of :class:`FaultEvent`s on the
+simulated clock: OSD crashes and restarts, slow-disk windows, transient
+error (EIO) windows, and network partitions between hosts.  Plans are
+either hand-built (targeted tests) or generated from a seed via
+:meth:`FaultPlan.generate`, which draws every choice from named
+:class:`~repro.sim.rng.RngRegistry` streams — the same seed always
+yields the same schedule, so any failure a plan provokes is replayable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..sim.rng import RngRegistry
+
+__all__ = ["FaultEvent", "FaultPlan", "FAULT_KINDS"]
+
+#: The fault vocabulary the injector understands.
+FAULT_KINDS = (
+    "osd_crash",      # target: osd id         — daemon stops serving (disk intact)
+    "osd_restart",    # target: osd id         — daemon comes back (disk intact)
+    "slow_disk",      # target: osd id         — device latency x factor for duration
+    "transient_errors",  # target: osd id      — ops fail with EIO at probability for duration
+    "partition",      # target: "hostA|hostB"  — transfers between the pair fail for duration
+)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    ``time`` is simulated seconds from injector attach; ``duration`` is
+    how long window-style faults (slow disk, EIO window, partition)
+    last — crashes persist until a matching ``osd_restart``.
+    """
+
+    time: float
+    kind: str
+    target: str
+    duration: float = 0.0
+    #: Kind-specific tuning: ``factor`` for slow_disk, ``probability``
+    #: for transient_errors.
+    params: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.time < 0:
+            raise ValueError(f"negative fault time {self.time}")
+        if self.duration < 0:
+            raise ValueError(f"negative fault duration {self.duration}")
+
+
+class FaultPlan:
+    """An ordered, replayable schedule of faults."""
+
+    def __init__(self, events: Sequence[FaultEvent] = (), seed: int = 0):
+        self.events: List[FaultEvent] = sorted(events, key=lambda e: (e.time, e.kind, e.target))
+        #: Seed for the injector's own draws (per-op EIO coin flips).
+        self.seed = seed
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def describe(self) -> List[str]:
+        """Human-readable schedule, one line per event."""
+        lines = []
+        for ev in self.events:
+            extra = f" for {ev.duration:.3f}s" if ev.duration else ""
+            params = " ".join(f"{k}={v:.3g}" for k, v in sorted(ev.params.items()))
+            lines.append(
+                f"t={ev.time:8.4f}s  {ev.kind:<16s} {ev.target}{extra}"
+                + (f"  ({params})" if params else "")
+            )
+        return lines
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def single_osd_kill(
+        cls,
+        osd_id: int,
+        at: float,
+        restart_after: Optional[float] = None,
+        seed: int = 0,
+    ) -> "FaultPlan":
+        """Kill one OSD at ``at``; optionally restart it later."""
+        events = [FaultEvent(at, "osd_crash", str(osd_id))]
+        if restart_after is not None:
+            events.append(
+                FaultEvent(at + restart_after, "osd_restart", str(osd_id))
+            )
+        return cls(events, seed=seed)
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        horizon: float,
+        osd_ids: Sequence[int],
+        hosts: Sequence[str] = (),
+        crash_rate: float = 0.5,
+        slow_rate: float = 0.5,
+        eio_rate: float = 0.5,
+        partition_rate: float = 0.25,
+        max_concurrent_down: int = 1,
+    ) -> "FaultPlan":
+        """Draw a random-but-deterministic schedule over ``horizon`` seconds.
+
+        ``*_rate`` are expected event counts per horizon (a rate of 0.5
+        means the fault appears in about half the seeds).  At most
+        ``max_concurrent_down`` OSDs are ever down at once, and every
+        crash gets a restart inside the horizon, so a generated plan
+        never makes data permanently unreachable on a ``min_size``-1
+        cluster — which is exactly what the zero-loss property test
+        needs.
+        """
+        registry = RngRegistry(seed)
+        events: List[FaultEvent] = []
+
+        crash_rng = registry.stream("faults.crash")
+        for _ in range(_poisson_like(crash_rng, crash_rate, cap=max_concurrent_down)):
+            osd = crash_rng.choice(list(osd_ids))
+            at = crash_rng.uniform(0.05, 0.6) * horizon
+            downtime = crash_rng.uniform(0.1, 0.3) * horizon
+            events.append(FaultEvent(at, "osd_crash", str(osd)))
+            events.append(FaultEvent(min(at + downtime, horizon * 0.95), "osd_restart", str(osd)))
+
+        slow_rng = registry.stream("faults.slow")
+        for _ in range(_poisson_like(slow_rng, slow_rate, cap=2)):
+            osd = slow_rng.choice(list(osd_ids))
+            at = slow_rng.uniform(0.0, 0.7) * horizon
+            events.append(
+                FaultEvent(
+                    at,
+                    "slow_disk",
+                    str(osd),
+                    duration=slow_rng.uniform(0.1, 0.4) * horizon,
+                    params={"factor": slow_rng.uniform(2.0, 10.0)},
+                )
+            )
+
+        eio_rng = registry.stream("faults.eio")
+        for _ in range(_poisson_like(eio_rng, eio_rate, cap=2)):
+            osd = eio_rng.choice(list(osd_ids))
+            at = eio_rng.uniform(0.0, 0.7) * horizon
+            events.append(
+                FaultEvent(
+                    at,
+                    "transient_errors",
+                    str(osd),
+                    duration=eio_rng.uniform(0.1, 0.4) * horizon,
+                    params={"probability": eio_rng.uniform(0.05, 0.3)},
+                )
+            )
+
+        part_rng = registry.stream("faults.partition")
+        if len(hosts) >= 2:
+            for _ in range(_poisson_like(part_rng, partition_rate, cap=1)):
+                a, b = part_rng.sample(list(hosts), 2)
+                at = part_rng.uniform(0.0, 0.6) * horizon
+                events.append(
+                    FaultEvent(
+                        at,
+                        "partition",
+                        f"{a}|{b}",
+                        duration=part_rng.uniform(0.05, 0.25) * horizon,
+                    )
+                )
+        return cls(events, seed=seed)
+
+
+def _poisson_like(rng, rate: float, cap: int) -> int:
+    """A small deterministic event count with mean ~``rate``, capped."""
+    count = 0
+    remaining = rate
+    while remaining > 0 and count < cap:
+        if rng.random() < min(remaining, 1.0):
+            count += 1
+        remaining -= 1.0
+    return count

@@ -1,0 +1,154 @@
+"""End-to-end faulted-workload scenario.
+
+The acceptance scenario behind the ``repro faults`` CLI subcommand, the
+fault-injection integration tests, and the CI smoke job: run a client
+workload against a deduplicating store *while* a seeded
+:class:`~repro.faults.FaultPlan` crashes OSDs, degrades disks, injects
+EIO and partitions hosts — then heal, recover, drain, garbage-collect,
+and check that
+
+* every written object reads back byte-identical (zero data loss), and
+* a scrub finds zero refcount leaks and zero missing chunks.
+
+Imports of ``repro.core`` stay inside functions: ``repro.core`` itself
+imports :mod:`repro.faults` (for the retry layer), so a module-level
+import here would be circular.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .errors import is_retryable
+from .plan import FaultPlan
+
+__all__ = ["ScenarioResult", "run_faulted_workload"]
+
+KiB = 1024
+
+#: Client-level retry ceiling: generated plans always heal (windows
+#: expire, crashes restart), so a workload op eventually succeeds; the
+#: cap only guards against a hand-built plan that never does.
+_MAX_CLIENT_ATTEMPTS = 200
+
+
+@dataclass
+class ScenarioResult:
+    """Everything a caller needs to judge one faulted run."""
+
+    storage: object
+    injector: object
+    plan: FaultPlan
+    scrub: object
+    #: Objects whose post-recovery read-back did not match what the
+    #: client wrote (must be empty).
+    corrupted_objects: List[str] = field(default_factory=list)
+    objects_written: int = 0
+
+    @property
+    def zero_data_loss(self) -> bool:
+        """No object was lost or corrupted."""
+        return not self.corrupted_objects
+
+    @property
+    def ok(self) -> bool:
+        """The run's overall verdict: data intact and refcounts clean."""
+        return self.zero_data_loss and self.scrub.clean
+
+
+def run_faulted_workload(
+    seed: int = 0,
+    plan: Optional[FaultPlan] = None,
+    num_hosts: int = 4,
+    osds_per_host: int = 2,
+    num_objects: int = 24,
+    object_size: int = 64 * KiB,
+    dedupe_ratio: float = 0.6,
+    horizon: float = 4.0,
+    config=None,
+) -> ScenarioResult:
+    """Run the faulted-workload acceptance scenario; returns the result.
+
+    When ``plan`` is omitted, one is generated from ``seed`` over
+    ``horizon`` simulated seconds (see :meth:`FaultPlan.generate`).
+    Writes are staggered across the first 80% of the horizon so faults
+    land mid-workload — including mid-flush, since the background
+    engine runs throughout.
+    """
+    from ..cluster import RadosCluster, recover_sync
+    from ..core import DedupConfig, DedupedStorage, scrub_sync
+    from ..workloads import ContentGenerator
+
+    cluster = RadosCluster(
+        num_hosts=num_hosts, osds_per_host=osds_per_host, pg_num=64
+    )
+    storage = DedupedStorage(
+        cluster,
+        config if config is not None else DedupConfig(chunk_size=32 * KiB),
+        start_engine=True,
+    )
+    if plan is None:
+        plan = FaultPlan.generate(
+            seed,
+            horizon,
+            osd_ids=sorted(cluster.osds),
+            hosts=sorted(cluster.nodes),
+        )
+    injector = storage.inject_faults(plan)
+    sim = storage.sim
+
+    gen = ContentGenerator(seed=seed, dedupe_ratio=dedupe_ratio)
+    payloads: Dict[str, bytes] = {
+        f"obj-{i}": gen.block(object_size) for i in range(num_objects)
+    }
+
+    def client_write(oid: str, data: bytes, at: float):
+        # A real client: start at a scheduled time, and when the store's
+        # own retries give up (fault window outlasted the op budget),
+        # back off and reissue the whole request until it lands.
+        yield sim.timeout(at)
+        for attempt in range(_MAX_CLIENT_ATTEMPTS):
+            try:
+                yield from storage.write(oid, data)
+                return
+            except Exception as exc:
+                if not is_retryable(exc):
+                    raise
+                yield sim.timeout(0.25)
+        raise RuntimeError(f"write of {oid!r} never succeeded under {plan!r}")
+
+    procs = [
+        sim.process(client_write(oid, data, (i / max(1, num_objects)) * horizon * 0.8))
+        for i, (oid, data) in enumerate(sorted(payloads.items()))
+    ]
+
+    def workload():
+        results = yield sim.all_of(procs)
+        return results
+
+    cluster.run(workload())
+    # Let every scheduled fault window open and expire.
+    if sim.now < horizon:
+        sim.run(until=horizon)
+
+    storage.engine.stop()
+    injector.heal_all()
+    recover_sync(cluster)
+    injector.detach()
+    storage.engine.drain_sync()  # flush everything + offline GC
+    scrub = scrub_sync(storage.tier)
+
+    corrupted = [
+        oid
+        for oid, data in sorted(payloads.items())
+        if storage.read_sync(oid, 0, len(data)) != data
+    ]
+    return ScenarioResult(
+        storage=storage,
+        injector=injector,
+        plan=plan,
+        scrub=scrub,
+        corrupted_objects=corrupted,
+        objects_written=num_objects,
+    )

@@ -1,5 +1,6 @@
 """Measurement utilities: latencies, throughput series, usage snapshots."""
 
+from .faults import FaultReport, fault_report
 from .latency import LatencyRecorder
 from .timeseries import ThroughputSeries
 from .usage import CpuSnapshot, StorageBreakdown, cpu_usage, storage_breakdown
@@ -11,4 +12,6 @@ __all__ = [
     "cpu_usage",
     "StorageBreakdown",
     "storage_breakdown",
+    "FaultReport",
+    "fault_report",
 ]

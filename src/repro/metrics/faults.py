@@ -1,0 +1,65 @@
+"""Fault-tolerance metrics: what the injector did, how the retry layer
+and engine absorbed it, and the resulting availability.
+
+One :func:`fault_report` call snapshots everything an operator (or a CI
+smoke job) needs to judge a faulted run: injected faults, retry/timeout
+counters, engine requeues, and currently-down OSDs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..faults.injector import FaultStats
+from ..faults.retry import RetryStats
+
+__all__ = ["FaultReport", "fault_report"]
+
+
+@dataclass
+class FaultReport:
+    """Fault-injection outcome snapshot for one run."""
+
+    sim_time: float = 0.0
+    retry: RetryStats = field(default_factory=RetryStats)
+    faults: Optional[FaultStats] = None
+    #: OSDs still down at snapshot time (should be empty after heal).
+    down_osds: List[int] = field(default_factory=list)
+    engine_requeues: int = 0
+    derefs_deferred: int = 0
+
+    @property
+    def availability(self) -> float:
+        """Fraction of logical ops that ultimately succeeded (0..1)."""
+        return self.retry.availability
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable one-screen report."""
+        lines = [f"sim time           {self.sim_time:.3f}s"]
+        if self.faults is not None:
+            lines.extend(self.faults.summary_lines())
+        lines.extend(self.retry.summary_lines())
+        lines.append(
+            f"engine             {self.engine_requeues} fault requeues,"
+            f" {self.derefs_deferred} derefs left for GC"
+        )
+        lines.append(
+            "down OSDs          "
+            + (",".join(map(str, self.down_osds)) if self.down_osds else "none")
+        )
+        return lines
+
+
+def fault_report(storage) -> FaultReport:
+    """Snapshot fault/retry counters of a
+    :class:`~repro.core.DedupedStorage` (injector attached or not)."""
+    injector = getattr(storage, "faults", None)
+    return FaultReport(
+        sim_time=storage.sim.now,
+        retry=storage.tier.retry_stats,
+        faults=injector.stats if injector is not None else None,
+        down_osds=list(injector.down_osds) if injector is not None else [],
+        engine_requeues=storage.engine.stats.objects_requeued_fault,
+        derefs_deferred=storage.engine.stats.derefs_deferred_fault,
+    )

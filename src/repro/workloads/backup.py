@@ -14,7 +14,7 @@ generation remains independently restorable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional, Tuple
+from typing import Iterator, Tuple
 
 from ..sim import RngRegistry
 from .datagen import compressible_bytes

@@ -18,7 +18,7 @@ data (packages, frameworks), and per-VM unique data.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterator, Optional, Tuple
 
 from ..sim import RngRegistry
 from .datagen import ContentGenerator, compressible_bytes

@@ -15,7 +15,7 @@ byte-identical data on every run.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from ..sim import RngRegistry
 
@@ -37,7 +37,6 @@ def compressible_bytes(rng, size: int, ratio: float) -> bytes:
     if ratio <= 0.0:
         return rng.randbytes(size)
     zeros_per_cell = int(_COMPRESS_CELL * ratio)
-    rand_per_cell = _COMPRESS_CELL - zeros_per_cell
     parts = []
     remaining = size
     while remaining > 0:

@@ -101,7 +101,7 @@ def test_balance_roughly_uniform():
 def test_cache_invalidation_on_epoch_bump():
     cmap = make_map()
     crush = CrushMap(cmap)
-    first = crush.map_pg(1, 1, 2)
+    crush.map_pg(1, 1, 2)  # warm the cache
     cmap.add_osd("host0")
     second = crush.map_pg(1, 1, 2)
     assert len(second) == 2  # recomputed without error

@@ -119,7 +119,7 @@ def test_cpu_utilization_accounting():
         yield from cpu.execute(1.0)
         yield sim.timeout(1.0)
 
-    p = sim.process(worker())
+    sim.process(worker())
     sim.run()
     # 1 core-second busy over 2 seconds on 2 cores = 25%.
     assert cpu.utilization() == pytest.approx(0.25)

@@ -6,7 +6,6 @@ from repro.cluster import (
     ErasureCoded,
     NoSuchObject,
     RadosCluster,
-    Replicated,
     Transaction,
 )
 

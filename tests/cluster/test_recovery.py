@@ -1,6 +1,5 @@
 """Tests for failure handling, recovery, and rebalancing."""
 
-import pytest
 
 from repro.cluster import (
     ErasureCoded,
@@ -105,7 +104,7 @@ def test_rebalance_after_adding_host():
     pool = cluster.create_pool("data", Replicated(2))
     fill(cluster, pool, n=60)
     cluster.add_host("host3", 2)
-    stats = recover_sync(cluster)
+    recover_sync(cluster)
     # New OSDs received some data.
     new_osds = [o for o in cluster.osds.values() if o.node.name == "host3"]
     assert sum(len(o.store) for o in new_osds) > 0

@@ -1,6 +1,5 @@
 """Tests for replica scrub and repair."""
 
-import pytest
 
 from repro.cluster import ErasureCoded, RadosCluster, Replicated
 from repro.cluster.scrub import repair_pool_sync, scrub_pool_sync

@@ -1,6 +1,5 @@
 """Tests for hot-object promotion back into the metadata-pool cache."""
 
-import pytest
 
 from repro.cluster import RadosCluster
 from repro.core import DedupConfig, DedupedStorage

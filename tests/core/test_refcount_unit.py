@@ -1,11 +1,9 @@
 """Unit tests for the refcount strategies in isolation."""
 
-import pytest
 
 from repro.cluster import RadosCluster
 from repro.core import (
     DedupConfig,
-    DedupedStorage,
     FalsePositiveRefcount,
     StrictRefcount,
     make_refcounter,

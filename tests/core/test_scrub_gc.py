@@ -1,10 +1,9 @@
 """Tests for scrub (integrity verification) and offline GC."""
 
-import pytest
 
 from repro.cluster import RadosCluster, Transaction
 from repro.core import DedupConfig, DedupedStorage
-from repro.core.objects import ChunkRef, RefSet, REFS_XATTR
+from repro.core.objects import ChunkRef, REFS_XATTR
 from repro.core.scrub import collect_garbage_sync, scrub_sync
 from repro.fingerprint import fingerprint
 
@@ -120,7 +119,7 @@ def test_gc_skips_dirty_objects_chunks():
     touch chunks their (old) entries reference."""
     storage = populated()
     storage.write_sync("obj0", b"fresh" * 300)  # dirty again (1500 of 2000 B)
-    report = collect_garbage_sync(storage.tier)
+    collect_garbage_sync(storage.tier)
     # The old chunks of obj0 are still referenced by its (dirty) map
     # entries, so nothing was removed that a re-flush might need; the
     # overwrite's prefix and the surviving old tail both read correctly.

@@ -2,7 +2,7 @@
 
 from repro.cluster import RadosCluster
 from repro.core import DedupConfig, DedupedStorage
-from repro.core.status import DedupStatus, collect_status
+from repro.core.status import DedupStatus
 
 
 def make_storage(**overrides):

@@ -1,0 +1,34 @@
+"""Property test: for ANY seeded FaultPlan, the post-recovery scrub
+finds zero refcount leaks and zero missing chunks, and every object
+reads back intact.
+
+Uses Hypothesis when available (CI installs it); skipped otherwise.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import HealthCheck, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.faults import run_faulted_workload  # noqa: E402
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(seed=st.integers(min_value=0, max_value=100_000))
+def test_any_seeded_plan_preserves_data_and_refcounts(seed):
+    result = run_faulted_workload(seed=seed, num_objects=10, horizon=2.5)
+    assert result.zero_data_loss, (
+        f"seed {seed} lost {result.corrupted_objects}; "
+        f"plan:\n" + "\n".join(result.plan.describe())
+    )
+    scrub = result.scrub
+    assert not scrub.stale_references, f"seed {seed}: refcount leaks"
+    assert not scrub.unreferenced_chunks, f"seed {seed}: leaked chunks"
+    assert not scrub.dangling_map_entries, f"seed {seed}: missing chunks"
+    assert not scrub.corrupt_chunks, f"seed {seed}: corrupt chunks"

@@ -16,7 +16,6 @@ import pytest
 from repro.cluster import RadosCluster
 from repro.core import DedupConfig, DedupedStorage
 from repro.fingerprint import fingerprint
-from repro.sim import Interrupt
 
 
 def make_storage(**overrides):
@@ -129,7 +128,7 @@ def test_redundant_flush_is_idempotent():
     before = storage.space_report()
     # Force re-processing by faking a dirty bit (as a crashed step-5
     # would leave behind).
-    cmap = storage.tier.peek_chunk_map("obj1")
+    storage.tier.peek_chunk_map("obj1")
     storage.tier.mark_dirty("obj1")
     storage.drain()
     after = storage.space_report()
@@ -152,7 +151,7 @@ def test_engine_crash_then_restart_via_rebuild():
     from repro.core import DedupEngine
 
     storage.engine = DedupEngine(storage.tier)
-    found = storage.tier.rebuild_dirty_list()
+    storage.tier.rebuild_dirty_list()
     storage.drain()
     for i in range(6):
         assert storage.read_sync(f"obj{i}") == bytes([i]) * 1024

@@ -106,7 +106,9 @@ def test_recovery_moves_less_data_with_dedup():
             write = storage.write_sync
         else:
             pool = cluster.create_pool("plain", Replicated(2))
-            write = lambda oid, data: cluster.write_full_sync(pool, oid, data)
+
+            def write(oid, data, pool=pool):
+                return cluster.write_full_sync(pool, oid, data)
         # 50% duplicate stream: every payload written twice.
         for i in range(30):
             payload = bytes([i]) * 8192
@@ -114,7 +116,6 @@ def test_recovery_moves_less_data_with_dedup():
             write(f"b{i}", payload)
         if dedup:
             storage.drain()
-        total_moved = 0
         for osd_id in (0, 1):
             cluster.fail_osd(osd_id)
         stats = recover_sync(cluster)

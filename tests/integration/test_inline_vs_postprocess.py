@@ -5,7 +5,6 @@ stream — the paper's argument is about *when* the work happens (and what
 that does to foreground latency), not about what is stored.
 """
 
-import pytest
 
 from repro.cluster import RadosCluster
 from repro.core import DedupConfig, DedupedStorage, InlineDedupStorage

@@ -8,7 +8,6 @@ correctness net in the suite: any divergence between the tiered,
 deduplicated, replicated representation and plain buffers fails here.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

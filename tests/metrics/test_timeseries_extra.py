@@ -1,6 +1,5 @@
 """Additional coverage for throughput series and FIO result plumbing."""
 
-import pytest
 
 from repro.cluster import RadosCluster
 from repro.core import PlainStorage

@@ -1,8 +1,7 @@
 """Edge-case coverage for the simulation kernel."""
 
-import pytest
 
-from repro.sim import AllOf, AnyOf, Resource, Simulator, Store
+from repro.sim import Resource, Simulator, Store
 
 
 def test_all_of_with_already_triggered_events():

@@ -1,6 +1,5 @@
 """Tests for the shared benchmark harness helpers."""
 
-import pytest
 
 from repro.bench import (
     build_cluster,

@@ -4,7 +4,6 @@ import pytest
 
 from repro.cluster import RadosCluster
 from repro.core import DedupConfig, DedupedStorage
-from repro.fingerprint import fingerprint
 from repro.workloads import BackupSpec, BackupStream
 
 KiB = 1024

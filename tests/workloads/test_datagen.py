@@ -8,7 +8,6 @@ from repro.workloads import ContentGenerator
 
 
 def dedup_ratio(blocks):
-    unique = {fingerprint(b) for b in blocks}
     total = sum(len(b) for b in blocks)
     unique_bytes = sum(len(b) for b in {fingerprint(x): x for x in blocks}.values())
     return 1.0 - unique_bytes / total

@@ -108,7 +108,6 @@ def test_runtime_bounded_run():
         object_size=16 * KiB,
         runtime=0.05,
     )
-    start = storage.sim.now
     result = FioRunner(storage, spec).run()
     assert result.duration >= 0.05
     assert result.total_ops > 16  # wrapped around the file

@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
 # Local dry-run of .github/workflows/ci.yml: runs the same jobs with the
 # same commands so a green run here predicts a green run in Actions.
-# Tools that only CI installs (ruff) are skipped with a notice when
-# absent.  Usage:
+# Tools that only CI installs (ruff, pytest-cov) are skipped with a
+# notice when absent.  Usage:
 #
-#   scripts/ci_local.sh            # lint + tests + faults smoke
+#   scripts/ci_local.sh            # lint + tests + coverage + faults + perf
 #   scripts/ci_local.sh --bench    # also the nightly bench smoke
 set -u
 cd "$(dirname "$0")/.."
@@ -36,11 +36,17 @@ except ImportError:
 with open(".github/workflows/ci.yml") as fh:
     doc = yaml.safe_load(fh)
 jobs = doc["jobs"]
-assert {"lint", "test", "faults-smoke", "bench-smoke"} <= set(jobs), jobs.keys()
+expected = {
+    "lint", "test", "coverage", "faults-smoke",
+    "perf-smoke", "perf-baseline-refresh", "bench-smoke",
+}
+assert expected <= set(jobs), jobs.keys()
 matrix = jobs["test"]["strategy"]["matrix"]["python-version"]
 assert matrix == ["3.9", "3.11", "3.12"], matrix
 seeds = jobs["faults-smoke"]["strategy"]["matrix"]["fault-seed"]
 assert len(set(seeds)) == 3, seeds
+concurrency = doc["concurrency"]
+assert concurrency["cancel-in-progress"] is True, concurrency
 EOF
 
 # -- lint job ---------------------------------------------------------------
@@ -54,6 +60,16 @@ fi
 # -- test job (this interpreter stands in for the version matrix) -----------
 step "test: tier-1 suite" env PYTHONPATH=src python -m pytest -x -q
 
+# -- coverage job -----------------------------------------------------------
+if python -c "import pytest_cov" >/dev/null 2>&1; then
+    step "coverage: tier-1 suite with floor" \
+        env PYTHONPATH=src python -m pytest -q \
+        --cov=repro --cov-report=term --cov-fail-under=70
+else
+    echo
+    echo "==> coverage: pytest-cov not installed locally; skipping (CI installs it)"
+fi
+
 # -- faults-smoke job -------------------------------------------------------
 for seed in 11 29 4242; do
     step "faults-smoke: suite, seed $seed" \
@@ -61,6 +77,12 @@ for seed in 11 29 4242; do
     step "faults-smoke: CLI scenario, seed $seed" \
         env PYTHONPATH=src python -m repro --seed "$seed" faults
 done
+
+# -- perf-smoke job ---------------------------------------------------------
+step "perf-smoke: harness vs committed baseline" \
+    env PYTHONPATH=src python -m repro perf --fast \
+    --out BENCH_perf.json \
+    --baseline benchmarks/baselines/perf_baseline.json
 
 # -- bench-smoke job (nightly; opt-in locally) ------------------------------
 if [ "$RUN_BENCH" = 1 ]; then

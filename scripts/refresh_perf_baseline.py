@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Regenerate the committed perf-smoke baseline.
+
+Runs the fast-mode perf harness and writes a fresh
+``perf_baseline.json`` in the format :func:`repro.perf.harness
+.compare_to_baseline` consumes.  CI's ``perf-baseline-refresh`` job
+runs this and uploads the result as an artifact; review the numbers and
+commit the file to ``benchmarks/baselines/perf_baseline.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out",
+        default="benchmarks/baselines/perf_baseline.json",
+        help="where to write the refreshed baseline",
+    )
+    parser.add_argument(
+        "--speedup-floor",
+        type=float,
+        default=1.3,
+        help="min_speedup_floor to embed (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.perf.harness import render_report, run_perf
+
+    report = run_perf(fast=True)
+    for line in render_report(report):
+        print(line)
+    if not report["summary"]["all_verified"]:
+        print("refusing to write baseline: verification failed", file=sys.stderr)
+        return 1
+
+    baseline = {
+        "comment": (
+            "Committed perf-smoke baseline; refresh via the "
+            "perf-baseline-refresh workflow_dispatch job "
+            "(scripts/refresh_perf_baseline.py)."
+        ),
+        "recorded_with": "repro perf --fast (seed 0, schema 1)",
+        "min_speedup_floor": args.speedup_floor,
+        "calibrated_ops_per_sec": {
+            name: round(rate)
+            for name, rate in report["summary"]["calibrated_ops_per_sec"].items()
+        },
+    }
+    with open(args.out, "w") as fh:
+        json.dump(baseline, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,23 +8,47 @@ redundancy of given data").
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Protocol
+from typing import List, Protocol, Union
 
 __all__ = ["ChunkSpan", "Chunker"]
 
+#: Chunk payloads are zero-copy views into the source buffer whenever
+#: possible; anything that must outlive the buffer calls ``as_bytes``.
+Buffer = Union[bytes, memoryview]
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, eq=False)
 class ChunkSpan:
-    """One chunk: its byte range within the object, and its bytes."""
+    """One chunk: its byte range within the object, and its bytes.
+
+    ``data`` is usually a :class:`memoryview` into the payload being
+    chunked — slicing it copies nothing.  Consumers that store the
+    bytes (rather than hash or compare them) materialise via
+    :meth:`as_bytes`.
+    """
 
     offset: int
     length: int
-    data: bytes
+    data: Buffer
 
     @property
     def end(self) -> int:
         """Exclusive end offset."""
         return self.offset + self.length
+
+    def as_bytes(self) -> bytes:
+        """The chunk's payload as real ``bytes`` (copies a view)."""
+        return bytes(self.data)
+
+    def __eq__(self, other):
+        if not isinstance(other, ChunkSpan):
+            return NotImplemented
+        # bytes/memoryview compare by content either way.
+        return (
+            self.offset == other.offset
+            and self.length == other.length
+            and self.data == other.data
+        )
 
     def __post_init__(self):
         if self.offset < 0:
@@ -38,18 +62,18 @@ class ChunkSpan:
 class Chunker(Protocol):
     """Anything that can split a payload into chunk spans."""
 
-    def chunk(self, data: bytes) -> List[ChunkSpan]:
+    def chunk(self, data: Buffer) -> List[ChunkSpan]:
         """Split ``data``; spans are contiguous and cover it exactly."""
         ...
 
 
-def validate_chunking(data: bytes, spans: List[ChunkSpan]) -> None:
+def validate_chunking(data: Buffer, spans: List[ChunkSpan]) -> None:
     """Assert the spans tile ``data`` exactly (used by tests)."""
     pos = 0
     for span in spans:
         if span.offset != pos:
             raise AssertionError(f"gap/overlap at {pos}: span starts {span.offset}")
-        if data[span.offset : span.end] != span.data:
+        if bytes(data[span.offset : span.end]) != bytes(span.data):
             raise AssertionError(f"span data mismatch at {span.offset}")
         pos = span.end
     if pos != len(data):

@@ -102,12 +102,13 @@ class RabinChunker:
                 return i
         return end
 
-    def chunk(self, data: bytes) -> List[ChunkSpan]:
-        """Split ``data`` at Rabin-fingerprint boundaries."""
+    def chunk(self, data) -> List[ChunkSpan]:
+        """Split ``data`` at Rabin-fingerprint boundaries (zero-copy spans)."""
+        view = memoryview(data)
         spans = []
         pos = 0
-        while pos < len(data):
-            cut = self._find_boundary(data, pos)
-            spans.append(ChunkSpan(offset=pos, length=cut - pos, data=data[pos:cut]))
+        while pos < len(view):
+            cut = self._find_boundary(view, pos)
+            spans.append(ChunkSpan(offset=pos, length=cut - pos, data=view[pos:cut]))
             pos = cut
         return spans

@@ -30,11 +30,15 @@ class StaticChunker:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         self.chunk_size = chunk_size
 
-    def chunk(self, data: bytes) -> List[ChunkSpan]:
-        """Split ``data``; the final chunk may be short."""
+    def chunk(self, data) -> List[ChunkSpan]:
+        """Split ``data``; the final chunk may be short.
+
+        Spans hold zero-copy :class:`memoryview` slices of ``data``.
+        """
+        view = memoryview(data)
         spans = []
-        for offset in range(0, len(data), self.chunk_size):
-            piece = data[offset : offset + self.chunk_size]
+        for offset in range(0, len(view), self.chunk_size):
+            piece = view[offset : offset + self.chunk_size]
             spans.append(ChunkSpan(offset=offset, length=len(piece), data=piece))
         return spans
 

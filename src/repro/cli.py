@@ -7,6 +7,7 @@ Usage::
     python -m repro status          # demo cluster + operational snapshot
     python -m repro scrub           # demo cluster + integrity scrub
     python -m repro faults          # seeded fault-injection run + verdict
+    python -m repro perf --fast     # hot-path wall-clock benchmark
 
 Full experiments live in ``benchmarks/`` (run with
 ``pytest benchmarks/ --benchmark-only``); the CLI is a zero-setup tour.
@@ -136,6 +137,40 @@ def _cmd_faults(args) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_perf(args) -> int:
+    import json
+
+    from .perf import harness
+
+    report = harness.run_perf(
+        fast=True if args.fast else None, seed=args.seed
+    )
+    for line in harness.render_report(report):
+        print(line)
+    if args.out:
+        harness.write_report(report, args.out)
+        print(f"report written to {args.out}")
+    if not report["summary"]["all_verified"]:
+        print("FAIL: batched and unbatched modes disagree", file=sys.stderr)
+        return 1
+    if args.baseline:
+        try:
+            with open(args.baseline, "r", encoding="utf-8") as fh:
+                baseline = json.load(fh)
+        except OSError as exc:
+            print(f"error: cannot read baseline: {exc}", file=sys.stderr)
+            return 2
+        failures = harness.compare_to_baseline(
+            report, baseline, max_regression=args.max_regression
+        )
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+        print(f"baseline gate passed ({args.baseline})")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
@@ -167,6 +202,34 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=4.0,
         help="fault-schedule length in simulated seconds (default 4.0)",
     )
+    perf = sub.add_parser(
+        "perf",
+        help="wall-clock hot-path benchmark: batched vs per-op, verified",
+    )
+    perf.add_argument(
+        "--fast",
+        action="store_true",
+        help="small workloads (also via REPRO_BENCH_FAST=1)",
+    )
+    perf.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the JSON report here (e.g. BENCH_perf.json)",
+    )
+    perf.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="gate against a committed baseline JSON; non-zero exit on "
+        "regression",
+    )
+    perf.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="allowed calibrated ops/s regression vs baseline (default 0.25)",
+    )
     args = parser.parse_args(argv)
     handler = {
         "info": _cmd_info,
@@ -174,6 +237,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "status": _cmd_status,
         "scrub": _cmd_scrub,
         "faults": _cmd_faults,
+        "perf": _cmd_perf,
     }[args.command]
     return handler(args)
 

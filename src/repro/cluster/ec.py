@@ -158,10 +158,16 @@ class ReedSolomon:
         remember the original length to :meth:`decode`.
         """
         size = self.shard_size(len(data)) if data else 1
-        padded = np.zeros(size * self.k, dtype=np.uint8)
-        if data:
-            padded[: len(data)] = np.frombuffer(data, dtype=np.uint8)
-        data_shards = padded.reshape(self.k, size)
+        if data and len(data) % self.k == 0:
+            # Aligned payload: view the caller's buffer directly instead
+            # of allocating + copying a padded array (read-only is fine —
+            # encode only reads the data shards).
+            data_shards = np.frombuffer(data, dtype=np.uint8).reshape(self.k, size)
+        else:
+            padded = np.zeros(size * self.k, dtype=np.uint8)
+            if data:
+                padded[: len(data)] = np.frombuffer(data, dtype=np.uint8)
+            data_shards = padded.reshape(self.k, size)
         shards = [bytes(data_shards[i]) for i in range(self.k)]
         for row in range(self.m):
             acc = np.zeros(size, dtype=np.uint8)

@@ -267,6 +267,105 @@ class RadosCluster:
             lock.release()
         yield from self._rpc_latency()  # ack to client
 
+    def submit_batch(self, pool: Pool, items, client: Optional[Client] = None):
+        """Process: apply many ``(oid, txn)`` pairs with one prepared
+        round per placement group.
+
+        The multi-op companion of :meth:`submit`: items are grouped by
+        PG, each group's transactions are merged into a single
+        transaction, and the same prepare/commit protocol runs once per
+        group instead of once per item — collapsing N refcount-sized
+        round trips into one prepared transaction per PG.
+
+        The two-phase guarantee extends across the *whole batch*: every
+        replica of every group prepares before any group commits, so a
+        transient fault anywhere during prepare leaves no object on any
+        OSD mutated and the caller can retry the batch as a unit.  (As
+        in :meth:`submit`, an OSD that dies after its prepare is
+        skipped at commit as long as each group keeps quorum.)
+
+        On an erasure-coded pool each mutation is an independent
+        full-stripe read-modify-write, so nothing merges; items are
+        applied sequentially and a mid-batch fault leaves a committed
+        prefix — callers that need batch atomicity on EC must undo
+        (the dedup tier falls back to per-op commits there).
+        """
+        items = [(oid, txn) for oid, txn in items if len(txn)]
+        if not items:
+            return
+        if len(items) == 1:
+            yield from self.submit(pool, items[0][0], items[0][1], client)
+            return
+        if pool.is_ec:
+            for oid, txn in items:
+                yield from self._ec_submit(pool, oid, txn, client)
+            return
+        client = client or self._default_client
+        groups: Dict[int, List[Transaction]] = {}
+        group_oids: Dict[int, str] = {}
+        for oid, txn in items:
+            pg = pool.pg_of(oid)
+            groups.setdefault(pg, []).append(txn)
+            group_oids.setdefault(pg, oid)
+        plans = []  # (merged txn, acting count, up OSDs)
+        for pg in sorted(groups):
+            acting = self._acting_osds(pool, group_oids[pg])
+            up = self._up_subset(acting)
+            if len(up) < pool.redundancy.min_size:
+                raise NotEnoughReplicas(
+                    f"{len(up)}/{len(acting)} replicas up for pg {pg}; "
+                    f"need {pool.redundancy.min_size}"
+                )
+            merged = Transaction()
+            for txn in groups[pg]:
+                merged.ops.extend(txn.ops)
+            plans.append((merged, len(acting), up))
+        # One payload transfer per PG primary, in parallel.
+        xfers = [
+            self.sim.process(
+                self._transfer(client.nic, up[0].node.nic, merged.io_bytes)
+            )
+            for merged, _n, up in plans
+        ]
+        yield self.sim.all_of(xfers)
+        # Per-object write locks, in deterministic order (a concurrent
+        # submit holds at most one, so sorted acquisition cannot cycle).
+        locks = [
+            self._write_lock(key)
+            for key in sorted({self.object_key(pool, oid) for oid, _ in items})
+        ]
+        for lock in locks:
+            yield lock.acquire()
+        try:
+            jobs = []
+            for merged, _n, up in plans:
+                primary = up[0]
+                for osd in up:
+                    jobs.append(
+                        self.sim.process(
+                            self._replica_prepare(primary, osd, merged, merged.io_bytes)
+                        )
+                    )
+            yield self.sim.all_of(jobs)
+            # Commit point for the whole batch: every group must still
+            # have quorum before *any* group applies, so a lost PG
+            # aborts the batch with nothing mutated.
+            for merged, acting_count, up in plans:
+                survivors = [osd for osd in up if osd.up]
+                if len(survivors) < pool.redundancy.min_size:
+                    raise NotEnoughReplicas(
+                        f"{len(survivors)}/{acting_count} replicas survived "
+                        f"prepare; need {pool.redundancy.min_size}"
+                    )
+            for merged, _n, up in plans:
+                for osd in up:
+                    if osd.up:
+                        osd.commit_transaction(merged)
+        finally:
+            for lock in reversed(locks):
+                lock.release()
+        yield from self._rpc_latency()  # ack to client
+
     def _replica_prepare(self, primary: OSD, replica: OSD, txn: Transaction, payload: int):
         if replica.node is not primary.node:
             yield from self._transfer(primary.node.nic, replica.node.nic, payload)
@@ -703,3 +802,7 @@ class RadosCluster:
     def submit_sync(self, pool: Pool, oid: str, txn: Transaction) -> None:
         """Synchronous :meth:`submit`."""
         self.run(self.submit(pool, oid, txn))
+
+    def submit_batch_sync(self, pool: Pool, items) -> None:
+        """Synchronous :meth:`submit_batch`."""
+        self.run(self.submit_batch(pool, items))

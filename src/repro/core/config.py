@@ -93,6 +93,23 @@ class DedupConfig:
     dedup_interval: float = 0.05
     hot_requeue_delay: float = 1.0
     refcount_mode: str = "strict"
+
+    #: Batch chunk-pool reference updates: a dedup pass accumulates its
+    #: ``chunk_ref``/``chunk_deref`` operations in a ChunkBatch and
+    #: commits them through one prepared transaction per placement
+    #: group instead of one round trip per refcount update.  Only
+    #: effective on replicated chunk pools (EC mutations are per-object
+    #: full-stripe RMWs — nothing merges).
+    batch_refs: bool = True
+    #: LRU cache of hot chunk-object RefSets in front of ``_load_refs``
+    #: (skips the per-lookup deserialization on repeat-duplicate
+    #: workloads).  0 disables.
+    refset_cache_entries: int = 512
+    #: Initial capacity of the negative-lookup Bloom filter over stored
+    #: chunk IDs (a definite "not stored" answer skips the chunk-pool
+    #: existence probe entirely; the filter grows itself when full).
+    #: 0 disables.
+    chunk_bloom_capacity: int = 8192
     #: Background dedup thread count (paper §3.2: "background
     #: deduplication threads periodically conduct a deduplication job").
     engine_workers: int = 8
@@ -153,3 +170,11 @@ class DedupConfig:
             raise ValueError(f"op_timeout must be positive, got {self.op_timeout}")
         if self.fault_requeue_delay < 0:
             raise ValueError("fault_requeue_delay must be >= 0")
+        if self.refset_cache_entries < 0:
+            raise ValueError(
+                f"refset_cache_entries must be >= 0, got {self.refset_cache_entries}"
+            )
+        if self.chunk_bloom_capacity < 0:
+            raise ValueError(
+                f"chunk_bloom_capacity must be >= 0, got {self.chunk_bloom_capacity}"
+            )

@@ -28,6 +28,7 @@ source of truth.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Optional
 
 from ..cluster import Transaction
@@ -35,7 +36,7 @@ from ..faults.errors import is_retryable
 from ..fingerprint import fingerprint
 from .objects import CHUNK_MAP_XATTR, ChunkRef
 from .refcount import make_refcounter
-from .tier import DedupTier, NodeClient
+from .tier import ChunkBatch, DedupTier, NodeClient
 
 __all__ = ["DedupEngine", "EngineStats"]
 
@@ -160,6 +161,12 @@ class DedupEngine:
         txn = Transaction()
         taken = []  # (chunk_id, ref) references acquired this pass
         pending_derefs = []  # old chunks to release once the map commits
+        # Batched mode: the pass accumulates its store-or-reference ops
+        # in a ChunkBatch and commits them at the end through one
+        # prepared transaction per placement group, instead of paying a
+        # serialized round trip per chunk.
+        batch = ChunkBatch() if tier.batching_enabled else None
+        planned = []  # (batch op index, fp, ref, nbytes) awaiting commit
         changed = False
         try:
             for idx in cmap.dirty_indices():
@@ -192,8 +199,14 @@ class DedupEngine:
                             )
                             buf[seg_start : seg_start + len(part)] = part
                     data = bytes(buf)
+                tier.stage.chunking_ops += 1
+                tier.stage.chunking_bytes += len(data)
                 yield from primary.node.cpu.fingerprint(len(data))
+                started = perf_counter()
                 fp = fingerprint(data, self.config.fingerprint_algorithm)
+                tier.stage.fingerprint_seconds += perf_counter() - started
+                tier.stage.fingerprint_ops += 1
+                tier.stage.fingerprint_bytes += len(data)
                 ref = ChunkRef(tier.metadata_pool.pool_id, oid, entry.offset)
                 if entry.chunk_id and entry.chunk_id != fp:
                     # §4.4.1 step 3: the entry stops referencing its old
@@ -203,14 +216,18 @@ class DedupEngine:
                     # ranges if this pass aborts on a foreground race.
                     pending_derefs.append((entry.chunk_id, ref))
                 if entry.chunk_id != fp:
-                    stored = yield from tier.chunk_ref(fp, ref, data, via)
-                    taken.append((fp, ref))
-                    if stored:
-                        self.stats.chunks_flushed += 1
-                        self.stats.bytes_flushed += len(data)
+                    if batch is not None:
+                        planned.append((len(batch.ops), fp, ref, len(data)))
+                        batch.ref(fp, ref, data)
                     else:
-                        self.stats.chunks_deduped += 1
-                        self.stats.bytes_deduped += len(data)
+                        stored = yield from tier.chunk_ref(fp, ref, data, via)
+                        taken.append((fp, ref))
+                        if stored:
+                            self.stats.chunks_flushed += 1
+                            self.stats.bytes_flushed += len(data)
+                        else:
+                            self.stats.chunks_deduped += 1
+                            self.stats.bytes_deduped += len(data)
                 entry.chunk_id = fp
                 entry.dirty = False
                 if tier.cache.keep_cached_on_flush(oid):
@@ -229,6 +246,22 @@ class DedupEngine:
                 # Paper Figure 8, "object 2": when no chunk remains cached,
                 # the metadata object holds no data at all — only metadata.
                 txn.truncate(key, 0)
+            if batch is not None and batch:
+                if tier.seq(oid) != seq_at_start:
+                    # Raced before the batch committed: nothing in the
+                    # chunk pool was touched, so there is nothing to undo.
+                    self.stats.objects_aborted_race += 1
+                    tier.mark_dirty(oid)
+                    return "raced"
+                outcomes = yield from tier.commit_chunk_batch(batch, via)
+                for op_i, fp, ref, nbytes in planned:
+                    taken.append((fp, ref))
+                    if outcomes[op_i]:
+                        self.stats.chunks_flushed += 1
+                        self.stats.bytes_flushed += nbytes
+                    else:
+                        self.stats.chunks_deduped += 1
+                        self.stats.bytes_deduped += nbytes
             if tier.seq(oid) != seq_at_start:
                 # A foreground write landed mid-pass: our map view is stale.
                 # Undo the references we took and retry later; dirty bits in
@@ -252,9 +285,37 @@ class DedupEngine:
             self.stats.objects_requeued_fault += 1
             tier.requeue_dirty(oid, delay=self.config.fault_requeue_delay)
             return "faulted"
-        for old_id, ref in pending_derefs:
+        if pending_derefs:
+            yield from self._apply_derefs(pending_derefs, via)
+        self.stats.objects_processed += 1
+        return "done"
+
+    def _apply_derefs(self, pairs, via):
+        """Process: release old-chunk references after the map commits.
+
+        Under strict refcounting with batching enabled, the whole set is
+        dropped in one batched commit (a fault leaves every reference
+        over-retained — never dangling — for the GC).  Otherwise each
+        dereference goes through the configured refcount strategy
+        individually (``false_positive`` just queues them in memory).
+        """
+        tier = self.tier
+        if tier.batching_enabled and len(pairs) > 1 and self.refcount.name == "strict":
+            batch = ChunkBatch()
+            for chunk_id, ref in pairs:
+                batch.deref(chunk_id, ref)
             try:
-                yield from self.refcount.deref(old_id, ref, via)
+                yield from tier.commit_chunk_batch(batch, via)
+            except Exception as exc:
+                if not is_retryable(exc):
+                    raise
+                # Batch prepare is all-or-nothing: nothing was dropped,
+                # every reference stays over-retained for the GC.
+                self.stats.derefs_deferred_fault += len(pairs)
+            return
+        for chunk_id, ref in pairs:
+            try:
+                yield from self.refcount.deref(chunk_id, ref, via)
             except Exception as exc:
                 if not is_retryable(exc):
                     raise
@@ -262,8 +323,6 @@ class DedupEngine:
                 # merely over-retained — never dangling.  Offline GC
                 # reclaims it.
                 self.stats.derefs_deferred_fault += 1
-        self.stats.objects_processed += 1
-        return "done"
 
     def _undo_refs(self, taken, via):
         """Process: best-effort release of references taken this pass.

@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import List, Tuple
 
 from .objects import ChunkRef
-from .tier import DedupTier
+from .tier import ChunkBatch, DedupTier
 
 __all__ = ["StrictRefcount", "FalsePositiveRefcount", "make_refcounter"]
 
@@ -74,8 +74,20 @@ class FalsePositiveRefcount:
         yield  # pragma: no cover - makes this a generator
 
     def gc(self, via):
-        """Process: apply all queued dereferences (the GC pass)."""
+        """Process: apply all queued dereferences (the GC pass).
+
+        With batching enabled the whole backlog commits through one
+        prepared transaction per placement group instead of one round
+        trip per stale reference.
+        """
         queue, self._queue = self._queue, []
+        if self.tier.batching_enabled and len(queue) > 1:
+            batch = ChunkBatch()
+            for chunk_id, ref in queue:
+                batch.deref(chunk_id, ref)
+            yield from self.tier.commit_chunk_batch(batch, via)
+            self.collected += len(queue)
+            return
         for chunk_id, ref in queue:
             yield from self.tier.chunk_deref(chunk_id, ref, via)
             self.collected += 1

@@ -15,9 +15,9 @@ chunk pool.
 
 from __future__ import annotations
 
-from collections import deque
+from collections import OrderedDict, deque
 from dataclasses import dataclass
-from typing import Deque, Dict, Optional, Set
+from typing import Deque, Dict, List, Optional, Set, Tuple
 
 from ..chunking import StaticChunker
 from ..compression import ZlibCodec
@@ -30,13 +30,21 @@ from ..cluster import (
     Transaction,
 )
 from ..faults.retry import RetryPolicy, RetryStats, call_with_retries
+from ..perf.stages import StageCounters
 from ..sim import Resource
+from ..util.bloom import BloomFilter
 from .config import DedupConfig
 from .cache import CacheManager
 from .objects import CHUNK_MAP_XATTR, REFS_XATTR, ChunkMap, ChunkRef, RefSet
 from .rate_control import OpWindow, RateController
 
-__all__ = ["DedupTier", "SpaceReport", "NodeClient", "CHUNK_ENCODING_XATTR"]
+__all__ = [
+    "ChunkBatch",
+    "DedupTier",
+    "SpaceReport",
+    "NodeClient",
+    "CHUNK_ENCODING_XATTR",
+]
 
 #: xattr on chunk objects recording the payload encoding ("raw"/"zlib").
 CHUNK_ENCODING_XATTR = "dedup.encoding"
@@ -53,6 +61,44 @@ class NodeClient:
     def __init__(self, node):
         self.node = node
         self.nic = node.nic
+
+
+class ChunkBatch:
+    """Chunk-pool reference work accumulated by one dedup pass.
+
+    Instead of paying one serialized round trip per refcount update, the
+    engine records every ``ref``/``deref`` of a pass here and commits
+    them all at once through :meth:`DedupTier.commit_chunk_batch`, which
+    collapses the work into one prepared transaction per placement
+    group (see :meth:`~repro.cluster.RadosCluster.submit_batch`).
+    """
+
+    def __init__(self):
+        #: Ordered ops: ``("ref", chunk_id, ref, data)`` or
+        #: ``("deref", chunk_id, ref)``.
+        self.ops: List[Tuple] = []
+
+    def ref(self, chunk_id: str, ref: ChunkRef, data) -> None:
+        """Record a store-or-reference of ``chunk_id`` by ``ref``.
+
+        ``data`` is the chunk payload, used only if the commit finds no
+        object at the content-derived location (first reference).
+        """
+        self.ops.append(("ref", chunk_id, ref, data))
+
+    def deref(self, chunk_id: str, ref: ChunkRef) -> None:
+        """Record dropping ``ref``'s reference to ``chunk_id``."""
+        self.ops.append(("deref", chunk_id, ref))
+
+    def chunk_ids(self) -> List[str]:
+        """Distinct chunk object IDs this batch touches (sorted)."""
+        return sorted({op[1] for op in self.ops})
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __bool__(self) -> bool:
+        return bool(self.ops)
 
 
 @dataclass
@@ -128,6 +174,10 @@ class DedupTier:
         # from the dirty bits persisted in every chunk map.
         self._dirty_queue: Deque[str] = deque()
         self._dirty_set: Set[str] = set()
+        # Delayed requeues already scheduled but not yet fired: a second
+        # requeue (or a fired one racing a foreground mark_dirty) must
+        # not enqueue the oid twice.
+        self._pending_requeues: Set[str] = set()
         # Monotonic per-object mutation counters: the engine uses them to
         # detect foreground writes racing with a dedup pass.
         self.mutation_seq: Dict[str, int] = {}
@@ -141,6 +191,27 @@ class DedupTier:
         #: cache vs redirected to the chunk pool.
         self.cache_hits = 0
         self.cache_misses = 0
+        #: Hot-path stage counters (chunking/fingerprint/ref/flush) the
+        #: perf harness snapshots; always on, bumped inline.
+        self.stage = StageCounters()
+        # LRU of hot RefSets in front of _load_refs: repeat-duplicate
+        # workloads skip the chunk-pool read (and the per-lookup
+        # deserialization) entirely.  Entries are invalidated on chunk
+        # removal and on any ref commit that faults mid-way.
+        self._ref_cache: "OrderedDict[str, RefSet]" = OrderedDict()
+        self._ref_cache_cap = self.config.refset_cache_entries
+        # Negative-lookup Bloom filter over stored chunk IDs: a miss is
+        # a definite "never stored", so the existence probe for a brand
+        # new chunk costs one in-memory filter check.  Grows itself (by
+        # rebuild from the chunk pool listing) when full.
+        self._chunk_bloom: Optional[BloomFilter] = (
+            BloomFilter(self.config.chunk_bloom_capacity)
+            if self.config.chunk_bloom_capacity > 0
+            else None
+        )
+        if self._chunk_bloom is not None:
+            for cid in cluster.list_objects(self.chunk_pool):
+                self._chunk_bloom.add(cid)
         #: Hook invoked (with the oid) when a read finds a hot object
         #: whose chunks are not cached; the facade wires it to the
         #: engine's promotion path (§5: hot objects are cached into the
@@ -181,11 +252,26 @@ class DedupTier:
         return oid
 
     def requeue_dirty(self, oid: str, delay: float = 0.0) -> None:
-        """Put ``oid`` back on the dirty list, optionally after a delay."""
+        """Put ``oid`` back on the dirty list, optionally after a delay.
+
+        Deduplicated: an oid already on the list, or with a delayed
+        requeue still pending, is not enqueued again — a retryable
+        engine abort can otherwise requeue the same object from both
+        the pass's fault handler and the worker loop's, and the second
+        firing would re-add (and re-process) an oid the engine already
+        drained.
+        """
         if delay > 0:
-            self.sim.call_later(delay, self.mark_dirty, oid)
+            if oid in self._dirty_set or oid in self._pending_requeues:
+                return
+            self._pending_requeues.add(oid)
+            self.sim.call_later(delay, self._fire_requeue, oid)
         else:
             self.mark_dirty(oid)
+
+    def _fire_requeue(self, oid: str) -> None:
+        self._pending_requeues.discard(oid)
+        self.mark_dirty(oid)
 
     @property
     def dirty_count(self) -> int:
@@ -286,25 +372,96 @@ class DedupTier:
             self._object_locks[oid] = lock
         return lock
 
+    # -- ref caching ----------------------------------------------------------
+
+    def chunk_exists(self, chunk_id: str) -> bool:
+        """Whether a chunk object is stored (negative-lookup accelerated).
+
+        A RefSet-cache hit or a Bloom-filter miss answers without
+        touching the chunk pool at all; only a "maybe stored" falls
+        through to the real existence probe.  Sound because every chunk
+        store goes through this tier (``chunk_ref`` or a batch commit),
+        which inserts the ID into the filter — so a filter miss really
+        means "never stored".
+        """
+        if chunk_id in self._ref_cache:
+            return True
+        if self._chunk_bloom is not None and chunk_id not in self._chunk_bloom:
+            self.stage.bloom_negative_hits += 1
+            return False
+        return self.cluster.exists(self.chunk_pool, chunk_id)
+
+    def _note_chunk_stored(self, chunk_id: str) -> None:
+        """Record a newly stored chunk ID in the Bloom filter."""
+        bloom = self._chunk_bloom
+        if bloom is None:
+            return
+        if bloom.count >= bloom.capacity:
+            # Rebuild at double capacity from the authoritative listing
+            # (map-time); the old filter's false-positive rate would
+            # otherwise degrade unbounded.
+            grown = BloomFilter(bloom.capacity * 2, bloom.error_rate)
+            for cid in self.cluster.list_objects(self.chunk_pool):
+                grown.add(cid)
+            self._chunk_bloom = bloom = grown
+        bloom.add(chunk_id)
+
+    def _cache_refs(self, chunk_id: str, refs: RefSet) -> None:
+        if self._ref_cache_cap <= 0:
+            return
+        cache = self._ref_cache
+        cache[chunk_id] = refs
+        cache.move_to_end(chunk_id)
+        while len(cache) > self._ref_cache_cap:
+            cache.popitem(last=False)
+
+    def invalidate_chunk_state(self, chunk_id: Optional[str] = None) -> None:
+        """Drop cached RefSets (one chunk, or all when ``None``).
+
+        Called whenever a chunk object is removed or a ref commit
+        faulted mid-way, so the cache never serves state the substrate
+        may not hold.  (Bloom entries persist — a stale positive only
+        costs the real existence probe.)
+        """
+        if chunk_id is None:
+            self._ref_cache.clear()
+        else:
+            self._ref_cache.pop(chunk_id, None)
+
     def _load_refs(self, chunk_id: str) -> RefSet:
+        cached = self._ref_cache.get(chunk_id)
+        if cached is not None:
+            self._ref_cache.move_to_end(chunk_id)
+            self.stage.refset_cache_hits += 1
+            return cached
+        self.stage.refset_cache_misses += 1
         key = self.cluster.object_key(self.chunk_pool, chunk_id)
         for osd_id in self.chunk_pool.acting_set_for(chunk_id):
             osd = self.cluster.osds[osd_id]
             if osd.up and osd.store.exists(key):
                 blob = osd.store.get(key).xattrs.get(REFS_XATTR, b"")
-                return RefSet.deserialize(blob)
+                refs = RefSet.deserialize(blob)
+                self._cache_refs(chunk_id, refs)
+                return refs
         return RefSet()
 
     def _store_refs(self, chunk_id: str, refs: RefSet, via):
         blob = refs.serialize()
-        if self.chunk_pool.is_ec:
-            yield from self.cluster.setxattr(
-                self.chunk_pool, chunk_id, REFS_XATTR, blob, via
-            )
-        else:
-            key = self.cluster.object_key(self.chunk_pool, chunk_id)
-            txn = Transaction().setxattr(key, REFS_XATTR, blob)
-            yield from self.cluster.submit(self.chunk_pool, chunk_id, txn, via)
+        try:
+            if self.chunk_pool.is_ec:
+                yield from self.cluster.setxattr(
+                    self.chunk_pool, chunk_id, REFS_XATTR, blob, via
+                )
+            else:
+                key = self.cluster.object_key(self.chunk_pool, chunk_id)
+                txn = Transaction().setxattr(key, REFS_XATTR, blob)
+                yield from self.cluster.submit(self.chunk_pool, chunk_id, txn, via)
+        except Exception:
+            # The commit may or may not have landed; never serve the
+            # in-memory state as truth.
+            self.invalidate_chunk_state(chunk_id)
+            raise
+        self._cache_refs(chunk_id, refs)
 
     def chunk_ref(self, chunk_id: str, ref: ChunkRef, data: bytes, via):
         """Process: store-or-reference a chunk object (§4.4.1 steps 4-5).
@@ -323,7 +480,8 @@ class DedupTier:
         lock = self.chunk_lock(chunk_id)
         yield lock.acquire()
         try:
-            exists = self.cluster.exists(self.chunk_pool, chunk_id)
+            self.stage.ref_ops += 1
+            exists = self.chunk_exists(chunk_id)
             refs = self._load_refs(chunk_id) if exists else RefSet()
             refs.add(ref)
             if not exists:
@@ -338,6 +496,9 @@ class DedupTier:
                     if len(coded) < len(data):
                         blob, encoding = coded, b"zlib"
                 yield from self.cluster.write_full(self.chunk_pool, chunk_id, blob, via)
+                self._note_chunk_stored(chunk_id)
+                self.stage.flush_ops += 1
+                self.stage.flush_bytes += len(blob)
                 if self.config.compress_chunks:
                     if self.chunk_pool.is_ec:
                         yield from self.cluster.setxattr(
@@ -347,8 +508,10 @@ class DedupTier:
                     else:
                         yield from self._set_encoding(chunk_id, encoding, via)
                 yield from self._store_refs(chunk_id, refs, via)
+                self.stage.ref_commits += 1
                 return True
             yield from self._store_refs(chunk_id, refs, via)
+            self.stage.ref_commits += 1
             return False
         finally:
             lock.release()
@@ -368,18 +531,149 @@ class DedupTier:
         lock = self.chunk_lock(chunk_id)
         yield lock.acquire()
         try:
-            if not self.cluster.exists(self.chunk_pool, chunk_id):
+            self.stage.ref_ops += 1
+            if not self.chunk_exists(chunk_id):
                 return
             refs = self._load_refs(chunk_id)
             if ref not in refs:
                 return
             refs.discard(ref)
             if len(refs) == 0:
-                yield from self.cluster.remove(self.chunk_pool, chunk_id, via)
+                try:
+                    yield from self.cluster.remove(self.chunk_pool, chunk_id, via)
+                finally:
+                    # Whether the removal landed or faulted mid-way, the
+                    # cached (already mutated) RefSet is no longer truth.
+                    self.invalidate_chunk_state(chunk_id)
             else:
                 yield from self._store_refs(chunk_id, refs, via)
+            self.stage.ref_commits += 1
         finally:
             lock.release()
+
+    # -- batched reference commits --------------------------------------------
+
+    @property
+    def batching_enabled(self) -> bool:
+        """Whether dedup passes should batch their ref/deref commits.
+
+        EC chunk pools fall back to the per-op path: every EC mutation
+        is an independent full-stripe read-modify-write, so nothing
+        merges and a mid-batch fault would leave a committed prefix
+        (see :meth:`~repro.cluster.RadosCluster.submit_batch`).
+        """
+        return self.config.batch_refs and not self.chunk_pool.is_ec
+
+    def commit_chunk_batch(self, batch: ChunkBatch, via):
+        """Process: apply a pass's accumulated ref/deref ops at once.
+
+        Per-chunk final states (refcounts, payload stores, removals)
+        are computed in memory under the chunk locks, then the whole
+        batch is committed through
+        :meth:`~repro.cluster.RadosCluster.submit_batch` — one prepared
+        transaction per placement group instead of one round trip per
+        refcount update.  A transient fault during the batched prepare
+        leaves no chunk object mutated, so the engine retries the batch
+        as a unit without undo.
+
+        Returns a list aligned with ``batch.ops``: ``True`` when that
+        ref op newly stored the chunk payload, ``False`` when it
+        deduplicated against an existing chunk, ``None`` for derefs.
+        """
+        outcomes: List[Optional[bool]] = [None] * len(batch.ops)
+        if not batch:
+            return outcomes
+        per_chunk: "OrderedDict[str, List[Tuple[int, Tuple]]]" = OrderedDict()
+        for i, op in enumerate(batch.ops):
+            per_chunk.setdefault(op[1], []).append((i, op))
+        # Sorted acquisition: concurrent passes (and the per-op path,
+        # which holds at most one chunk lock) cannot deadlock.
+        chunk_ids = sorted(per_chunk)
+        locks = [self.chunk_lock(cid) for cid in chunk_ids]
+        for lock in locks:
+            yield lock.acquire()
+        try:
+            self.stage.ref_ops += len(batch.ops)
+            items: List[Tuple[str, Transaction]] = []
+            stored_payloads: List[Tuple[str, bytes]] = []
+            removed: List[str] = []
+            survivors: List[Tuple[str, RefSet]] = []
+            for cid, ops in per_chunk.items():
+                existed = self.chunk_exists(cid)
+                refs = self._load_refs(cid) if existed else RefSet()
+                payload = None
+                for i, op in ops:
+                    if op[0] == "ref":
+                        _, _, ref, data = op
+                        if not existed and payload is None:
+                            payload = bytes(data)
+                            outcomes[i] = True
+                        else:
+                            outcomes[i] = False
+                        refs.add(ref)
+                    else:
+                        refs.discard(op[2])
+                key = self.cluster.object_key(self.chunk_pool, cid)
+                txn = Transaction()
+                if len(refs) == 0:
+                    if existed:
+                        txn.remove(key)
+                        removed.append(cid)
+                    else:
+                        # Net no-op: every ref taken in this batch was
+                        # also dropped in it — never create the object,
+                        # and downgrade the "stored" outcome.
+                        for i, op in ops:
+                            if op[0] == "ref":
+                                outcomes[i] = False
+                        payload = None
+                else:
+                    if not existed:
+                        blob, encoding = payload, b"raw"
+                        if self.config.compress_chunks:
+                            node = getattr(via, "node", None)
+                            if node is not None:
+                                yield from node.cpu.execute(
+                                    node.cpu.spec.compress_time(len(payload))
+                                )
+                            coded = self.codec.compress(payload)
+                            if len(coded) < len(payload):
+                                blob, encoding = coded, b"zlib"
+                        txn.write_full(key, blob)
+                        if self.config.compress_chunks:
+                            txn.setxattr(key, CHUNK_ENCODING_XATTR, encoding)
+                        stored_payloads.append((cid, blob))
+                    txn.setxattr(key, REFS_XATTR, refs.serialize())
+                    survivors.append((cid, refs))
+                if len(txn):
+                    items.append((cid, txn))
+            try:
+                yield from self.cluster.submit_batch(self.chunk_pool, items, via)
+            except Exception:
+                # The in-memory RefSets (possibly shared with the LRU)
+                # were already mutated; the substrate was not (batch
+                # prepare is all-or-nothing).  Drop every touched cache
+                # entry so a retry reloads the true state.
+                for cid in chunk_ids:
+                    self.invalidate_chunk_state(cid)
+                raise
+            for cid in removed:
+                self.invalidate_chunk_state(cid)
+            for cid, refs in survivors:
+                self._cache_refs(cid, refs)
+            for cid, blob in stored_payloads:
+                self._note_chunk_stored(cid)
+                self.stage.flush_ops += 1
+                self.stage.flush_bytes += len(blob)
+            if items:
+                self.stage.ref_batches += 1
+                self.stage.ref_commits += len(
+                    {self.chunk_pool.pg_of(cid) for cid, _ in items}
+                )
+            return outcomes
+        finally:
+            for lock in reversed(locks):
+                lock.release()
 
     def read_chunk(self, chunk_id: str, offset: int, length: Optional[int], client):
         """Process: read chunk bytes from the chunk pool (redirection).

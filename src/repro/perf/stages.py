@@ -1,0 +1,75 @@
+"""Per-stage counters for the dedup hot path.
+
+The tier and engine keep one :class:`StageCounters` per
+:class:`~repro.core.tier.DedupTier` and bump it inline as work flows
+through the four hot-path stages the perf harness reports on:
+
+* **chunking** — dirty-chunk assembly (cache reads + merge) in the
+  engine;
+* **fingerprint** — content hashing (count, bytes, and the wall-clock
+  seconds spent inside the hash call itself);
+* **ref** — chunk-pool reference traffic: logical ref/deref operations,
+  the round trips (prepared commits) they cost, how many were collapsed
+  into batches, and how often the RefSet LRU / negative Bloom filter
+  short-circuited a lookup;
+* **flush** — chunk payloads newly stored in the chunk pool.
+
+Counters are plain ints/floats — cheap enough to stay always-on — and
+live here (not in ``repro.core``) so the perf harness can snapshot and
+diff them without reaching into engine internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+__all__ = ["StageCounters"]
+
+
+@dataclass
+class StageCounters:
+    """Always-on counters for the dedup hot path, by stage."""
+
+    # -- chunking: dirty chunk assembly ---------------------------------
+    chunking_ops: int = 0
+    chunking_bytes: int = 0
+
+    # -- fingerprint ----------------------------------------------------
+    fingerprint_ops: int = 0
+    fingerprint_bytes: int = 0
+    #: Wall-clock seconds inside the hash call (synchronous, so this is
+    #: real host time, not simulated time).
+    fingerprint_seconds: float = 0.0
+
+    # -- ref: chunk-pool reference traffic ------------------------------
+    #: Logical reference mutations (each ref or deref counts once).
+    ref_ops: int = 0
+    #: Prepared commits those mutations cost (round trips).  Unbatched,
+    #: this tracks ``ref_ops``; batched, it collapses toward one per
+    #: placement group per pass.
+    ref_commits: int = 0
+    #: Batched commits (each covers >= 1 ref_ops).
+    ref_batches: int = 0
+    #: RefSet lookups served from the LRU without deserializing.
+    refset_cache_hits: int = 0
+    refset_cache_misses: int = 0
+    #: Existence probes answered "definitely not stored" by the Bloom
+    #: filter (the chunk-pool lookup was skipped entirely).
+    bloom_negative_hits: int = 0
+
+    # -- flush: new chunk payloads --------------------------------------
+    flush_ops: int = 0
+    flush_bytes: int = 0
+
+    def snapshot(self) -> dict:
+        """A plain-dict copy (JSON-ready)."""
+        return asdict(self)
+
+    def diff(self, since: "StageCounters") -> dict:
+        """Counter deltas relative to an earlier snapshot."""
+        now, then = asdict(self), asdict(since)
+        return {k: now[k] - then[k] for k in now}
+
+    def copy(self) -> "StageCounters":
+        """An independent snapshot object."""
+        return StageCounters(**asdict(self))

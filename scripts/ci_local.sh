@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
 # Local dry-run of .github/workflows/ci.yml: runs the same jobs with the
 # same commands so a green run here predicts a green run in Actions.
-# Tools that only CI installs (ruff, pytest-cov) are skipped with a
-# notice when absent.  Usage:
+# Tools that only CI installs (ruff, mypy, pytest-cov) are skipped with
+# a notice when absent.  Usage:
 #
-#   scripts/ci_local.sh            # lint + tests + coverage + faults + perf
+#   scripts/ci_local.sh            # lint + invariants + tests + coverage + faults + perf
 #   scripts/ci_local.sh --bench    # also the nightly bench smoke
 set -u
 cd "$(dirname "$0")/.."
@@ -37,7 +37,7 @@ with open(".github/workflows/ci.yml") as fh:
     doc = yaml.safe_load(fh)
 jobs = doc["jobs"]
 expected = {
-    "lint", "test", "coverage", "faults-smoke",
+    "lint", "lint-invariants", "test", "coverage", "faults-smoke",
     "perf-smoke", "perf-baseline-refresh", "bench-smoke",
 }
 assert expected <= set(jobs), jobs.keys()
@@ -56,6 +56,12 @@ else
     echo
     echo "==> lint: ruff not installed locally; skipping (CI installs it)"
 fi
+
+# -- lint-invariants job ----------------------------------------------------
+step "lint-invariants: repro lint" \
+    env PYTHONPATH=src python -m repro lint --format json --out lint-findings.json
+# mypy_gate.py itself skips with a notice when mypy is not installed.
+step "lint-invariants: mypy gate" python scripts/mypy_gate.py
 
 # -- test job (this interpreter stands in for the version matrix) -----------
 step "test: tier-1 suite" env PYTHONPATH=src python -m pytest -x -q

@@ -1,0 +1,513 @@
+"""The repro-lint rule engine.
+
+AST-based static analysis encoding the repository's correctness
+invariants as lint rules (see ``docs/static-analysis.md``).  The engine
+is rule-agnostic: it parses every target file once into a
+:class:`SourceModule` (AST with parent links, suppression comments,
+registered fault scopes), hands each module to every applicable
+:class:`Rule`, then post-processes the findings through suppressions and
+an optional baseline file.
+
+Suppression syntax (justification after ``--`` is mandatory)::
+
+    something_noisy()  # repro-lint: disable=DET001 -- stage timing only
+
+A standalone suppression comment applies to the next source line.  A
+function can be registered as a *fault-injection scope* for rule FLT001
+with::
+
+    def commit(self):
+        # repro-lint: flt-scope -- invoked under the engine's requeue handler
+        ...
+
+Baselines grandfather existing findings: a JSON file recording
+``(rule, module, message)`` occurrence counts; findings matching the
+baseline are reported as ``baselined`` and do not fail the run.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Finding",
+    "SourceModule",
+    "Rule",
+    "Baseline",
+    "LintResult",
+    "Linter",
+    "iter_python_files",
+    "module_name_for",
+    "format_human",
+    "format_json",
+]
+
+#: Finding severities, in increasing order of badness.
+SEVERITIES = ("warning", "error")
+
+#: The rule ID used for malformed suppression comments.
+META_RULE = "LINT000"
+
+_MAGIC = re.compile(r"#\s*repro-lint:\s*(?P<body>[^\n]*)")
+_DISABLE = re.compile(
+    r"disable=(?P<rules>[A-Z][A-Z0-9]*(?:\s*,\s*[A-Z][A-Z0-9]*)*)"
+    r"(?P<just>\s*--\s*\S.*)?"
+)
+_FLT_SCOPE = re.compile(r"flt-scope(?P<just>\s*--\s*\S.*)?")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    severity: str
+    path: str
+    module: str
+    line: int
+    col: int
+    message: str
+
+    def key(self) -> Tuple[str, str, str]:
+        """Line-number-free identity used for baseline matching."""
+        return (self.rule, self.module, self.message)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly representation."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "module": self.module,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass
+class _Suppression:
+    line: int
+    rules: Tuple[str, ...]
+    justified: bool
+    used: bool = False
+
+
+class SourceModule:
+    """A parsed source file: AST, parent links, and lint comments."""
+
+    def __init__(self, path: str, source: str, module: str) -> None:
+        self.path = path
+        self.module = module
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=path)
+        self._parents: Dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+        self.suppressions: List[_Suppression] = []
+        #: Lines carrying a ``flt-scope`` marker -> justified flag.
+        self.flt_scope_lines: Dict[int, bool] = {}
+        self.comment_errors: List[Finding] = []
+        self._scan_comments()
+
+    # -- comments -------------------------------------------------------------
+
+    def _scan_comments(self) -> None:
+        for lineno, text in enumerate(self.lines, start=1):
+            match = _MAGIC.search(text)
+            if match is None:
+                continue
+            body = match.group("body").strip()
+            disable = _DISABLE.match(body)
+            if disable is not None:
+                rules = tuple(
+                    r.strip() for r in disable.group("rules").split(",")
+                )
+                justified = disable.group("just") is not None
+                # A bare comment line suppresses the *next* line; a
+                # trailing comment suppresses its own line.
+                target = lineno
+                if text.lstrip().startswith("#"):
+                    target = lineno + 1
+                self.suppressions.append(
+                    _Suppression(line=target, rules=rules, justified=justified)
+                )
+                if not justified:
+                    self.comment_errors.append(
+                        Finding(
+                            rule=META_RULE,
+                            severity="error",
+                            path=self.path,
+                            module=self.module,
+                            line=lineno,
+                            col=0,
+                            message=(
+                                "suppression without justification: append"
+                                " ' -- <reason>' to the disable comment"
+                            ),
+                        )
+                    )
+                continue
+            flt = _FLT_SCOPE.match(body)
+            if flt is not None:
+                justified = flt.group("just") is not None
+                self.flt_scope_lines[lineno] = justified
+                if not justified:
+                    self.comment_errors.append(
+                        Finding(
+                            rule=META_RULE,
+                            severity="error",
+                            path=self.path,
+                            module=self.module,
+                            line=lineno,
+                            col=0,
+                            message=(
+                                "flt-scope registration without justification:"
+                                " append ' -- <reason>'"
+                            ),
+                        )
+                    )
+                continue
+            self.comment_errors.append(
+                Finding(
+                    rule=META_RULE,
+                    severity="error",
+                    path=self.path,
+                    module=self.module,
+                    line=lineno,
+                    col=0,
+                    message=f"unrecognised repro-lint directive: {body!r}",
+                )
+            )
+
+    def suppressed(self, finding: Finding) -> bool:
+        """Whether a (justified) suppression covers ``finding``."""
+        for sup in self.suppressions:
+            if sup.line == finding.line and finding.rule in sup.rules:
+                sup.used = True
+                return sup.justified
+        return False
+
+    # -- AST helpers ----------------------------------------------------------
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        """The syntactic parent of ``node`` (None for the module)."""
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Walk from ``node``'s parent up to the module node."""
+        current = self._parents.get(node)
+        while current is not None:
+            yield current
+            current = self._parents.get(current)
+
+    def flt_scope_functions(self) -> List[ast.AST]:
+        """Function defs registered as fault-injection scopes.
+
+        A marker comment registers the function whose header region
+        (the ``def`` line, the line above it, or the lines down to the
+        first body statement — i.e. alongside the docstring) contains
+        it.
+        """
+        if not self.flt_scope_lines:
+            return []
+        registered: List[ast.AST] = []
+        for node in ast.walk(self.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            first_body_line = node.body[0].lineno if node.body else node.lineno
+            for line, justified in self.flt_scope_lines.items():
+                if justified and node.lineno - 1 <= line <= first_body_line:
+                    registered.append(node)
+                    break
+        return registered
+
+    def finding(
+        self,
+        rule: "Rule",
+        node: ast.AST,
+        message: str,
+    ) -> Finding:
+        """Build a :class:`Finding` anchored at ``node``."""
+        return Finding(
+            rule=rule.id,
+            severity=rule.severity,
+            path=self.path,
+            module=self.module,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``id``/``title``/``severity`` and implement
+    :meth:`check`; cross-file rules additionally implement
+    :meth:`finalize`, which runs once after every module was checked.
+    """
+
+    id: str = "RULE000"
+    title: str = ""
+    severity: str = "error"
+
+    def applies(self, module: str) -> bool:
+        """Whether the rule runs on dotted module ``module``."""
+        return True
+
+    def check(self, mod: SourceModule) -> Iterable[Finding]:
+        """Per-module pass; yields findings."""
+        return ()
+
+    def finalize(self, modules: Sequence[SourceModule]) -> Iterable[Finding]:
+        """Cross-module pass over every module the rule applied to."""
+        return ()
+
+
+def _scoped(module: str, prefixes: Tuple[str, ...]) -> bool:
+    return any(
+        module == p or module.startswith(p + ".") for p in prefixes
+    )
+
+
+class ScopedRule(Rule):
+    """A rule restricted to modules under given dotted prefixes."""
+
+    scope: Tuple[str, ...] = ()
+
+    def applies(self, module: str) -> bool:
+        if not self.scope:
+            return True
+        return _scoped(module, self.scope)
+
+
+@dataclass
+class Baseline:
+    """Grandfathered findings: ``(rule, module, message) -> count``."""
+
+    entries: Dict[Tuple[str, str, str], int] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        """Read a baseline JSON file."""
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        entries: Dict[Tuple[str, str, str], int] = {}
+        for item in doc.get("findings", []):
+            key = (item["rule"], item["module"], item["message"])
+            entries[key] = entries.get(key, 0) + int(item.get("count", 1))
+        return cls(entries=entries)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        """Build a baseline grandfathering ``findings``."""
+        entries: Dict[Tuple[str, str, str], int] = {}
+        for f in findings:
+            entries[f.key()] = entries.get(f.key(), 0) + 1
+        return cls(entries=entries)
+
+    def save(self, path: str) -> None:
+        """Write the baseline as JSON (sorted, diff-friendly)."""
+        doc = {
+            "version": 1,
+            "findings": [
+                {"rule": rule, "module": module, "message": message, "count": count}
+                for (rule, module, message), count in sorted(self.entries.items())
+            ],
+        }
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=False)
+            fh.write("\n")
+
+    def split(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding]]:
+        """Partition into (new, baselined) against the recorded counts."""
+        budget = dict(self.entries)
+        new: List[Finding] = []
+        grandfathered: List[Finding] = []
+        for f in findings:
+            remaining = budget.get(f.key(), 0)
+            if remaining > 0:
+                budget[f.key()] = remaining - 1
+                grandfathered.append(f)
+            else:
+                new.append(f)
+        return new, grandfathered
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: List[Finding]
+    baselined: List[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    files_checked: int = 0
+    parse_errors: List[Finding] = field(default_factory=list)
+
+    @property
+    def errors(self) -> List[Finding]:
+        """Findings at error severity (these fail the run)."""
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        """Findings at warning severity."""
+        return [f for f in self.findings if f.severity == "warning"]
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing error-severity (or unparseable) remains."""
+        return not self.errors and not self.parse_errors
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name derived from ``path``.
+
+    The name starts at the last path component named ``repro`` (the
+    package root), so ``src/repro/core/tier.py`` -> ``repro.core.tier``.
+    Files outside a ``repro`` tree fall back to their stem.
+    """
+    parts = list(path.with_suffix("").parts)
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            parts = parts[i:]
+            break
+    else:
+        parts = parts[-1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1] or ["repro"]
+    return ".".join(parts)
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
+    """Yield ``.py`` files under each path (files pass through)."""
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            yield from sorted(p.rglob("*.py"))
+        elif p.suffix == ".py":
+            yield p
+
+
+class Linter:
+    """Run a rule set over source files and post-process findings."""
+
+    def __init__(
+        self, rules: Sequence[Rule], baseline: Optional[Baseline] = None
+    ) -> None:
+        self.rules = list(rules)
+        self.baseline = baseline or Baseline()
+
+    def run_paths(
+        self,
+        paths: Sequence[str],
+        module_overrides: Optional[Dict[str, str]] = None,
+    ) -> LintResult:
+        """Lint every Python file under ``paths``.
+
+        ``module_overrides`` maps file path strings to dotted module
+        names, letting tests lint fixture files *as if* they lived at a
+        given spot in the package (rule scoping keys off the module).
+        """
+        overrides = module_overrides or {}
+        modules: List[SourceModule] = []
+        parse_errors: List[Finding] = []
+        for path in iter_python_files(paths):
+            text = path.read_text(encoding="utf-8")
+            name = overrides.get(str(path)) or module_name_for(path)
+            try:
+                modules.append(SourceModule(str(path), text, name))
+            except SyntaxError as exc:
+                parse_errors.append(
+                    Finding(
+                        rule=META_RULE,
+                        severity="error",
+                        path=str(path),
+                        module=name,
+                        line=exc.lineno or 0,
+                        col=exc.offset or 0,
+                        message=f"file does not parse: {exc.msg}",
+                    )
+                )
+        result = self.run_modules(modules)
+        result.parse_errors.extend(parse_errors)
+        return result
+
+    def run_modules(self, modules: Sequence[SourceModule]) -> LintResult:
+        """Lint already-parsed modules."""
+        raw: List[Finding] = []
+        per_rule_modules: Dict[str, List[SourceModule]] = {}
+        by_path = {m.path: m for m in modules}
+        for mod in modules:
+            raw.extend(mod.comment_errors)
+            for rule in self.rules:
+                if not rule.applies(mod.module):
+                    continue
+                per_rule_modules.setdefault(rule.id, []).append(mod)
+                raw.extend(rule.check(mod))
+        for rule in self.rules:
+            scoped = per_rule_modules.get(rule.id, [])
+            if scoped:
+                raw.extend(rule.finalize(scoped))
+
+        kept: List[Finding] = []
+        suppressed = 0
+        for f in raw:
+            mod = by_path.get(f.path)
+            if f.rule != META_RULE and mod is not None and mod.suppressed(f):
+                suppressed += 1
+                continue
+            kept.append(f)
+        kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        new, grandfathered = self.baseline.split(kept)
+        return LintResult(
+            findings=new,
+            baselined=grandfathered,
+            suppressed=suppressed,
+            files_checked=len(modules),
+        )
+
+
+def format_human(result: LintResult) -> List[str]:
+    """Render a result as human-readable report lines."""
+    lines: List[str] = []
+    for f in result.parse_errors + result.findings:
+        lines.append(
+            f"{f.path}:{f.line}:{f.col}: {f.rule} [{f.severity}] {f.message}"
+        )
+    lines.append(
+        f"repro lint: {len(result.errors)} error(s),"
+        f" {len(result.warnings)} warning(s),"
+        f" {len(result.baselined)} baselined,"
+        f" {result.suppressed} suppressed,"
+        f" {result.files_checked} file(s) checked"
+    )
+    return lines
+
+
+def format_json(result: LintResult) -> str:
+    """Render a result as a JSON document string."""
+    doc = {
+        "version": 1,
+        "findings": [f.to_dict() for f in result.parse_errors + result.findings],
+        "baselined": [f.to_dict() for f in result.baselined],
+        "summary": {
+            "errors": len(result.errors) + len(result.parse_errors),
+            "warnings": len(result.warnings),
+            "baselined": len(result.baselined),
+            "suppressed": result.suppressed,
+            "files_checked": result.files_checked,
+            "ok": result.ok,
+        },
+    }
+    return json.dumps(doc, indent=2) + "\n"

@@ -1,0 +1,47 @@
+"""The repro-lint rule set.
+
+Rules encode paper-level invariants (see ``docs/static-analysis.md``):
+
+* DET001 — no wall-clock reads in simulated components
+* DET002 — all randomness flows through ``repro.sim.rng``
+* DET003 — no iteration over sets with unpinned order
+* REF001 — ``chunk_ref`` needs a release path in its component
+* FLT001 — substrate I/O must sit inside a fault scope
+* API001 — no imports bypassing the ``RadosCluster`` facade
+"""
+
+from typing import Dict, List
+
+from ..engine import Rule
+from .determinism import SetOrderRule, UnseededRandomRule, WallClockRule
+from .faults import FaultScopeRule
+from .layering import LayeringRule
+from .references import RefPairingRule
+
+__all__ = [
+    "WallClockRule",
+    "UnseededRandomRule",
+    "SetOrderRule",
+    "RefPairingRule",
+    "FaultScopeRule",
+    "LayeringRule",
+    "default_rules",
+    "rules_by_id",
+]
+
+
+def default_rules() -> List[Rule]:
+    """One instance of every repro-lint rule."""
+    return [
+        WallClockRule(),
+        UnseededRandomRule(),
+        SetOrderRule(),
+        RefPairingRule(),
+        FaultScopeRule(),
+        LayeringRule(),
+    ]
+
+
+def rules_by_id() -> Dict[str, Rule]:
+    """Rule instances keyed by their IDs."""
+    return {rule.id: rule for rule in default_rules()}

@@ -1,0 +1,173 @@
+"""Fault-model coverage rule (FLT001).
+
+The fault model only means something if every simulated I/O edge is
+wrapped by it: a single substrate mutation issued outside a retry or
+fault-handling scope is an edge where an injected fault (EIO, crash,
+partition) escapes as an unhandled exception instead of exercising the
+recovery path the paper's §4.6 analysis depends on.  FASTEN
+(arXiv:2312.08309) draws the same boundary between its replication and
+dedup layers — the dedup tier must consume substrate faults, not leak
+them.
+
+A call site counts as *guarded* when any of these encloses it:
+
+* a lambda/function passed as a factory to ``call_with_retries`` or a
+  ``.retrying(...)`` helper (the retry layer);
+* a ``try`` whose handler catches ``Exception`` and either classifies
+  via ``is_retryable`` or swallows without re-raising (the engine's
+  skip-and-requeue degradation);
+* a function registered as a fault-injection scope with a
+  ``# repro-lint: flt-scope -- <reason>`` marker (for primitives whose
+  *callers* own the scope, and for deliberately unguarded paths such as
+  offline GC — the justification documents why).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Set
+
+from ..engine import Finding, ScopedRule, SourceModule
+
+__all__ = ["FaultScopeRule"]
+
+#: Substrate-mutation methods whose call sites must be guarded.
+_IO_OPS = ("submit", "submit_batch", "write_full", "remove", "setxattr")
+
+#: Receiver names that identify the storage substrate.
+_SUBSTRATE_NAMES = ("cluster", "rados")
+
+#: Names that establish a retry scope when called with a factory.
+_RETRY_CALLS = ("call_with_retries", "retrying")
+
+
+def _receiver_tail(node: ast.expr) -> str:
+    """Last identifier of a dotted receiver chain (``a.b.cluster`` -> ``cluster``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def _is_io_site(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in _IO_OPS
+        and _receiver_tail(node.func.value) in _SUBSTRATE_NAMES
+    )
+
+
+def _callee_name(call: ast.Call) -> str:
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    return ""
+
+
+def _mentions_is_retryable(node: ast.AST) -> bool:
+    return any(
+        isinstance(sub, ast.Name) and sub.id == "is_retryable"
+        for sub in ast.walk(node)
+    )
+
+
+def _handler_catches_broadly(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    names: List[ast.expr] = (
+        list(handler.type.elts)
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for expr in names:
+        tail = expr.attr if isinstance(expr, ast.Attribute) else getattr(expr, "id", "")
+        if tail in ("Exception", "BaseException"):
+            return True
+    return False
+
+
+def _handler_guards(handler: ast.ExceptHandler) -> bool:
+    """A broad handler that classifies with is_retryable, or swallows."""
+    if not _handler_catches_broadly(handler):
+        return False
+    if any(_mentions_is_retryable(stmt) for stmt in handler.body):
+        return True
+    return not any(
+        isinstance(sub, ast.Raise) for stmt in handler.body for sub in ast.walk(stmt)
+    )
+
+
+class FaultScopeRule(ScopedRule):
+    """FLT001: substrate mutations must sit inside a fault scope."""
+
+    id = "FLT001"
+    title = "substrate I/O outside any retry or fault-injection scope"
+    scope = ("repro.core", "repro.bench", "repro.workloads")
+
+    def check(self, mod: SourceModule) -> Iterable[Finding]:
+        retry_factories = self._retry_factories(mod)
+        registered = set(map(id, mod.flt_scope_functions()))
+        for node in ast.walk(mod.tree):
+            if not _is_io_site(node):
+                continue
+            if self._guarded(mod, node, retry_factories, registered):
+                continue
+            op = node.func.attr  # type: ignore[attr-defined]
+            yield mod.finding(
+                self,
+                node,
+                f"substrate mutation .{op}() outside any retry or"
+                f" fault-injection scope: wrap it in call_with_retries/"
+                f".retrying(...), handle is_retryable faults around it, or"
+                f" register the enclosing function with"
+                f" '# repro-lint: flt-scope -- <reason>'",
+            )
+
+    def _retry_factories(self, mod: SourceModule) -> Set[int]:
+        """AST node ids of lambdas/functions passed to the retry layer."""
+        factories: Set[int] = set()
+        local_defs = {
+            node.name: node
+            for node in ast.walk(mod.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if _callee_name(node) not in _RETRY_CALLS:
+                continue
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                if isinstance(arg, ast.Lambda):
+                    factories.add(id(arg))
+                elif isinstance(arg, ast.Name) and arg.id in local_defs:
+                    factories.add(id(local_defs[arg.id]))
+        return factories
+
+    def _guarded(
+        self,
+        mod: SourceModule,
+        site: ast.AST,
+        retry_factories: Set[int],
+        registered: Set[int],
+    ) -> bool:
+        child = site
+        for anc in mod.ancestors(site):
+            if isinstance(anc, (ast.Lambda, ast.FunctionDef, ast.AsyncFunctionDef)):
+                if id(anc) in retry_factories or id(anc) in registered:
+                    return True
+            if isinstance(anc, ast.Try):
+                in_body = any(
+                    stmt is child or self._contains(stmt, child)
+                    for stmt in anc.body
+                )
+                if in_body and any(_handler_guards(h) for h in anc.handlers):
+                    return True
+            child = anc
+        return False
+
+    @staticmethod
+    def _contains(tree: ast.AST, node: ast.AST) -> bool:
+        return any(sub is node for sub in ast.walk(tree))

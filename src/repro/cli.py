@@ -8,6 +8,7 @@ Usage::
     python -m repro scrub           # demo cluster + integrity scrub
     python -m repro faults          # seeded fault-injection run + verdict
     python -m repro perf --fast     # hot-path wall-clock benchmark
+    python -m repro lint            # AST invariant checks on the source tree
 
 Full experiments live in ``benchmarks/`` (run with
 ``pytest benchmarks/ --benchmark-only``); the CLI is a zero-setup tour.
@@ -49,7 +50,8 @@ def _cmd_info(_args) -> int:
     print(f"version: {getattr(repro, '__version__', 'dev')}")
     print()
     print("packages: sim, cluster, chunking, fingerprint, compression,")
-    print("          core (the paper's contribution), workloads, metrics, bench")
+    print("          core (the paper's contribution), workloads, metrics,")
+    print("          bench, analysis (the repro-lint invariant checker)")
     print("docs:     README.md, DESIGN.md, EXPERIMENTS.md")
     print("tests:    pytest tests/")
     print("figures:  pytest benchmarks/ --benchmark-only")
@@ -171,6 +173,75 @@ def _cmd_perf(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from pathlib import Path
+
+    from .analysis import (
+        Baseline,
+        Linter,
+        default_rules,
+        format_human,
+        format_json,
+        rules_by_id,
+    )
+
+    if args.paths:
+        paths = args.paths
+    else:
+        # Default target: the installed/source package tree itself.
+        paths = [str(Path(__file__).resolve().parent)]
+    rules = default_rules()
+    if args.rules:
+        wanted = {r.strip() for r in args.rules.split(",") if r.strip()}
+        known = rules_by_id()
+        unknown = sorted(wanted - set(known))
+        if unknown:
+            print(f"error: unknown rule id(s): {', '.join(unknown)}",
+                  file=sys.stderr)
+            return 2
+        rules = [known[rid] for rid in sorted(wanted)]
+    baseline = None
+    if args.baseline:
+        try:
+            baseline = Baseline.load(args.baseline)
+        except FileNotFoundError:
+            if not args.write_baseline:
+                print(f"error: baseline file not found: {args.baseline}",
+                      file=sys.stderr)
+                return 2
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: cannot read baseline: {exc}", file=sys.stderr)
+            return 2
+    linter = Linter(rules, baseline=baseline)
+    result = linter.run_paths(paths)
+    if args.write_baseline:
+        if not args.baseline:
+            print("error: --write-baseline requires --baseline PATH",
+                  file=sys.stderr)
+            return 2
+        Baseline.from_findings(result.findings + result.baselined).save(
+            args.baseline
+        )
+        print(
+            f"baseline written to {args.baseline}"
+            f" ({len(result.findings) + len(result.baselined)} finding(s))"
+        )
+        return 0
+    if args.format == "json":
+        output = format_json(result)
+        sys.stdout.write(output)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(output)
+    else:
+        for line in format_human(result):
+            print(line)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(format_json(result))
+    return 0 if result.ok else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
@@ -230,6 +301,45 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=0.25,
         help="allowed calibrated ops/s regression vs baseline (default 0.25)",
     )
+    lint = sub.add_parser(
+        "lint",
+        help="AST-based invariant checks (determinism, refcounts, fault"
+        " scopes, layering)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to lint (default: the repro package)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=["human", "json"],
+        default="human",
+        help="output format (default human)",
+    )
+    lint.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="also write the JSON report here (for CI artifacts)",
+    )
+    lint.add_argument(
+        "--rules",
+        default=None,
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    lint.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="JSON baseline of grandfathered findings",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record current findings into --baseline and exit 0",
+    )
     args = parser.parse_args(argv)
     handler = {
         "info": _cmd_info,
@@ -238,6 +348,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "scrub": _cmd_scrub,
         "faults": _cmd_faults,
         "perf": _cmd_perf,
+        "lint": _cmd_lint,
     }[args.command]
     return handler(args)
 

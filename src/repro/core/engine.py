@@ -202,9 +202,11 @@ class DedupEngine:
                 tier.stage.chunking_ops += 1
                 tier.stage.chunking_bytes += len(data)
                 yield from primary.node.cpu.fingerprint(len(data))
-                started = perf_counter()
+                # Wall-clock here measures real CPU cost of the digest for
+                # the stage report; it never feeds simulated time or state.
+                started = perf_counter()  # repro-lint: disable=DET001 -- observability only: stage-report timing, not simulated state
                 fp = fingerprint(data, self.config.fingerprint_algorithm)
-                tier.stage.fingerprint_seconds += perf_counter() - started
+                tier.stage.fingerprint_seconds += perf_counter() - started  # repro-lint: disable=DET001 -- observability only: stage-report timing, not simulated state
                 tier.stage.fingerprint_ops += 1
                 tier.stage.fingerprint_bytes += len(data)
                 ref = ChunkRef(tier.metadata_pool.pool_id, oid, entry.offset)
@@ -391,7 +393,17 @@ class DedupEngine:
                 if tier.seq(oid) != seq_at_start:
                     return "raced"
                 txn.setxattr(key, CHUNK_MAP_XATTR, cmap.serialize())
-                yield from tier.cluster.submit(tier.metadata_pool, oid, txn, via)
+                try:
+                    yield from tier.cluster.submit(
+                        tier.metadata_pool, oid, txn, via
+                    )
+                except Exception as exc:
+                    # Promotion is purely an optimisation: on a fault the
+                    # chunk map stays authoritative and the object is
+                    # re-promoted the next time its hit count trips.
+                    if not is_retryable(exc):
+                        raise
+                    return "faulted"
                 self.stats.chunks_promoted += promoted
             finally:
                 lock.release()
@@ -436,7 +448,15 @@ class DedupEngine:
         )
         if cmap.cached_indices() == []:
             txn.truncate(key, 0)  # fully evicted: metadata only
-        yield from tier.cluster.submit(tier.metadata_pool, oid, txn, via)
+        try:
+            yield from tier.cluster.submit(tier.metadata_pool, oid, txn, via)
+        except Exception as exc:
+            # Eviction is deferrable: the commit never happened, so the
+            # cached copy stays valid and the LRU offers it again on the
+            # next capacity pass.
+            if not is_retryable(exc):
+                raise
+            return
         tier.cache.note_evicted(oid, index)
         self.stats.chunks_evicted += 1
 

@@ -97,7 +97,7 @@ def scrub(tier: DedupTier):
             report.corrupt_chunks.append(chunk_id)
         implied = live.get(chunk_id, set())
         stored = set(tier._load_refs(chunk_id))
-        for ref in stored - implied:
+        for ref in sorted(stored - implied):
             report.stale_references.append((chunk_id, ref))
         if not implied:
             report.unreferenced_chunks.append(chunk_id)
@@ -118,6 +118,7 @@ class GcReport:
     bytes_reclaimed: int = 0
 
 
+# repro-lint: flt-scope -- offline GC runs post-drain; a faulted remove() is retried by the next pass (refs recomputed each pass)
 def collect_garbage(tier: DedupTier):
     """Process: drop stale references and unreferenced chunk objects.
 

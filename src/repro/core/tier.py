@@ -445,6 +445,7 @@ class DedupTier:
                 return refs
         return RefSet()
 
+    # repro-lint: flt-scope -- commit primitive: faults must propagate to the caller's scope (engine skip-and-requeue / io_path retries), which owns the undo policy
     def _store_refs(self, chunk_id: str, refs: RefSet, via):
         blob = refs.serialize()
         try:
@@ -463,6 +464,7 @@ class DedupTier:
             raise
         self._cache_refs(chunk_id, refs)
 
+    # repro-lint: flt-scope -- commit primitive: faults must propagate to the caller's scope (engine skip-and-requeue / io_path retries), which owns the undo policy
     def chunk_ref(self, chunk_id: str, ref: ChunkRef, data: bytes, via):
         """Process: store-or-reference a chunk object (§4.4.1 steps 4-5).
 
@@ -516,11 +518,13 @@ class DedupTier:
         finally:
             lock.release()
 
+    # repro-lint: flt-scope -- commit primitive: runs only inside chunk_ref, whose callers own the fault scope
     def _set_encoding(self, chunk_id: str, encoding: bytes, via):
         key = self.cluster.object_key(self.chunk_pool, chunk_id)
         txn = Transaction().setxattr(key, CHUNK_ENCODING_XATTR, encoding)
         yield from self.cluster.submit(self.chunk_pool, chunk_id, txn, via)
 
+    # repro-lint: flt-scope -- commit primitive: idempotent (§4.6); faults propagate to the caller's scope, which defers the deref to GC
     def chunk_deref(self, chunk_id: str, ref: ChunkRef, via):
         """Process: drop one reference; remove the chunk at zero refs.
 
@@ -564,6 +568,7 @@ class DedupTier:
         """
         return self.config.batch_refs and not self.chunk_pool.is_ec
 
+    # repro-lint: flt-scope -- commit primitive: two-phase prepare makes a fault all-or-nothing; callers own the requeue/defer policy
     def commit_chunk_batch(self, batch: ChunkBatch, via):
         """Process: apply a pass's accumulated ref/deref ops at once.
 

@@ -42,7 +42,7 @@ class TransientOpError(FaultError):
     state is mutated, so a retry observes an untouched store.
     """
 
-    def __init__(self, osd_id: int, op: str):
+    def __init__(self, osd_id: int, op: str) -> None:
         super().__init__(f"injected EIO on osd.{osd_id} during {op}")
         self.osd_id = osd_id
         self.op = op
@@ -55,7 +55,7 @@ class OpTimeoutError(FaultError):
     interrupted and the attempt is charged as failed.
     """
 
-    def __init__(self, op: str, timeout: float):
+    def __init__(self, op: str, timeout: float) -> None:
         super().__init__(f"{op} timed out after {timeout:.4f}s")
         self.op = op
         self.timeout = timeout
@@ -64,7 +64,7 @@ class OpTimeoutError(FaultError):
 class NetworkPartitionError(FaultError):
     """A transfer was attempted across a partitioned host pair."""
 
-    def __init__(self, src: str, dst: str):
+    def __init__(self, src: str, dst: str) -> None:
         super().__init__(f"network partition between {src!r} and {dst!r}")
         self.src = src
         self.dst = dst

@@ -21,9 +21,9 @@ the plan's seed, so a given (plan, workload) pair replays identically.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Set
+from typing import Any, Dict, FrozenSet, Generator, List, Set
 
-from ..cluster.recovery import recover
+from ..cluster import recover
 from ..sim.rng import RngRegistry
 from .errors import NetworkPartitionError, TransientOpError
 from .plan import FaultEvent, FaultPlan
@@ -57,7 +57,7 @@ class FaultStats:
 class FaultInjector:
     """Schedules a :class:`FaultPlan` onto a cluster's simulated clock."""
 
-    def __init__(self, cluster, plan: FaultPlan, auto_recover: bool = True):
+    def __init__(self, cluster: Any, plan: FaultPlan, auto_recover: bool = True) -> None:
         self.cluster = cluster
         self.plan = plan
         #: Kick off a recovery pass whenever a crashed OSD restarts
@@ -67,7 +67,7 @@ class FaultInjector:
         self._rng = RngRegistry(plan.seed).stream("faults.injector")
         self._slow: Dict[int, float] = {}
         self._eio: Dict[int, float] = {}
-        self._partitions: Set[frozenset] = set()
+        self._partitions: Set[FrozenSet[str]] = set()
         self._crashed: Set[int] = set()
         self._attached = False
 
@@ -159,13 +159,13 @@ class FaultInjector:
         self._eio.pop(osd_id, None)
         self.stats.windows_expired += 1
 
-    def _end_partition(self, pair: frozenset) -> None:
+    def _end_partition(self, pair: FrozenSet[str]) -> None:
         self._partitions.discard(pair)
         self.stats.windows_expired += 1
 
     # -- substrate hooks ------------------------------------------------------
 
-    def before_op(self, osd, op: str, nbytes: int):
+    def before_op(self, osd: Any, op: str, nbytes: int) -> Generator[Any, Any, None]:
         """Process: runs at the head of every OSD execute path.
 
         May raise :class:`TransientOpError` (before any store mutation,
@@ -187,7 +187,7 @@ class FaultInjector:
             self.stats.slow_ops_delayed += 1
             yield osd.sim.timeout((factor - 1.0) * base)
 
-    def check_link(self, src_nic, dst_nic) -> None:
+    def check_link(self, src_nic: Any, dst_nic: Any) -> None:
         """Raise :class:`NetworkPartitionError` across a partitioned pair."""
         if not self._partitions:
             return

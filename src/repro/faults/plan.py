@@ -11,8 +11,9 @@ yields the same schedule, so any failure a plan provokes is replayable.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence
 
 from ..sim.rng import RngRegistry
 
@@ -45,7 +46,7 @@ class FaultEvent:
     #: for transient_errors.
     params: Dict[str, float] = field(default_factory=dict)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
             raise ValueError(f"unknown fault kind {self.kind!r}")
         if self.time < 0:
@@ -57,7 +58,7 @@ class FaultEvent:
 class FaultPlan:
     """An ordered, replayable schedule of faults."""
 
-    def __init__(self, events: Sequence[FaultEvent] = (), seed: int = 0):
+    def __init__(self, events: Sequence[FaultEvent] = (), seed: int = 0) -> None:
         self.events: List[FaultEvent] = sorted(events, key=lambda e: (e.time, e.kind, e.target))
         #: Seed for the injector's own draws (per-op EIO coin flips).
         self.seed = seed
@@ -65,12 +66,12 @@ class FaultPlan:
     def __len__(self) -> int:
         return len(self.events)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[FaultEvent]:
         return iter(self.events)
 
     def describe(self) -> List[str]:
         """Human-readable schedule, one line per event."""
-        lines = []
+        lines: List[str] = []
         for ev in self.events:
             extra = f" for {ev.duration:.3f}s" if ev.duration else ""
             params = " ".join(f"{k}={v:.3g}" for k, v in sorted(ev.params.items()))
@@ -176,7 +177,7 @@ class FaultPlan:
         return cls(events, seed=seed)
 
 
-def _poisson_like(rng, rate: float, cap: int) -> int:
+def _poisson_like(rng: random.Random, rate: float, cap: int) -> int:
     """A small deterministic event count with mean ~``rate``, capped."""
     count = 0
     remaining = rate

@@ -16,11 +16,11 @@ reference-set adds are set inserts, and removes tolerate absence.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Any, Callable, Generator, List, Optional
 
 from .errors import OpTimeoutError, is_retryable
 
-__all__ = ["RetryPolicy", "RetryStats", "call_with_retries"]
+__all__ = ["OpFactory", "RetryPolicy", "RetryStats", "call_with_retries"]
 
 
 @dataclass(frozen=True)
@@ -39,7 +39,7 @@ class RetryPolicy:
     max_delay: float = 0.25
     op_timeout: Optional[float] = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.max_attempts < 1:
             raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
         if self.base_delay < 0 or self.max_delay < 0:
@@ -56,7 +56,7 @@ class RetryPolicy:
         return min(self.max_delay, self.base_delay * self.backoff ** (attempt - 2))
 
     @classmethod
-    def from_config(cls, config) -> "RetryPolicy":
+    def from_config(cls, config: Any) -> "RetryPolicy":
         """Build from a :class:`~repro.core.DedupConfig`-shaped object."""
         return cls(
             max_attempts=config.retry_max_attempts,
@@ -98,13 +98,18 @@ class RetryStats:
         ]
 
 
+#: An operation: a zero-argument callable producing a fresh simulation
+#: process generator each time it is called (one per attempt).
+OpFactory = Callable[[], Generator[Any, Any, Any]]
+
+
 def call_with_retries(
-    sim,
+    sim: Any,
     policy: RetryPolicy,
-    factory: Callable[[], object],
+    factory: OpFactory,
     stats: Optional[RetryStats] = None,
     op: str = "op",
-):
+) -> Generator[Any, Any, Any]:
     """Process: run ``factory()`` (a fresh op generator per attempt)
     with per-attempt timeout and retry-with-backoff.
 
@@ -150,4 +155,5 @@ def call_with_retries(
         return result
     if stats is not None:
         stats.giveups += 1
+    assert last_exc is not None  # max_attempts >= 1, so an attempt ran
     raise last_exc  # exhausted: surface the final retryable error

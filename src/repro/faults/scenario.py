@@ -18,7 +18,7 @@ import here would be circular.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, Generator, List, Optional
 
 from .errors import is_retryable
 from .plan import FaultPlan
@@ -37,10 +37,10 @@ _MAX_CLIENT_ATTEMPTS = 200
 class ScenarioResult:
     """Everything a caller needs to judge one faulted run."""
 
-    storage: object
-    injector: object
+    storage: Any
+    injector: Any
     plan: FaultPlan
-    scrub: object
+    scrub: Any
     #: Objects whose post-recovery read-back did not match what the
     #: client wrote (must be empty).
     corrupted_objects: List[str] = field(default_factory=list)
@@ -66,7 +66,7 @@ def run_faulted_workload(
     object_size: int = 64 * KiB,
     dedupe_ratio: float = 0.6,
     horizon: float = 4.0,
-    config=None,
+    config: Any = None,
 ) -> ScenarioResult:
     """Run the faulted-workload acceptance scenario; returns the result.
 
@@ -103,7 +103,9 @@ def run_faulted_workload(
         f"obj-{i}": gen.block(object_size) for i in range(num_objects)
     }
 
-    def client_write(oid: str, data: bytes, at: float):
+    def client_write(
+        oid: str, data: bytes, at: float
+    ) -> Generator[Any, Any, None]:
         # A real client: start at a scheduled time, and when the store's
         # own retries give up (fault window outlasted the op budget),
         # back off and reissue the whole request until it lands.
@@ -123,7 +125,7 @@ def run_faulted_workload(
         for i, (oid, data) in enumerate(sorted(payloads.items()))
     ]
 
-    def workload():
+    def workload() -> Generator[Any, Any, Any]:
         results = yield sim.all_of(procs)
         return results
 

@@ -61,7 +61,7 @@ class FingerprintIndex:
         address_bytes: int = 12,
         sample_bits: int = 0,
         memory_limit: Optional[int] = None,
-    ):
+    ) -> None:
         if sample_bits < 0:
             raise ValueError(f"sample_bits must be >= 0, got {sample_bits}")
         self.algorithm = algorithm
@@ -83,7 +83,7 @@ class FingerprintIndex:
     def __len__(self) -> int:
         return len(self._table)
 
-    def lookup(self, fp: str):
+    def lookup(self, fp: str) -> Optional[object]:
         """Address stored for ``fp``, or ``None``."""
         self.stats.lookups += 1
         addr = self._table.get(fp)

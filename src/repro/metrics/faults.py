@@ -9,7 +9,7 @@ counters, engine requeues, and currently-down OSDs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Any, List, Optional
 
 from ..faults.injector import FaultStats
 from ..faults.retry import RetryStats
@@ -51,7 +51,7 @@ class FaultReport:
         return lines
 
 
-def fault_report(storage) -> FaultReport:
+def fault_report(storage: Any) -> FaultReport:
     """Snapshot fault/retry counters of a
     :class:`~repro.core.DedupedStorage` (injector attached or not)."""
     injector = getattr(storage, "faults", None)

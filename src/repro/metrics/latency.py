@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import math
-from typing import List
+from typing import Dict, List
 
 __all__ = ["LatencyRecorder"]
 
@@ -11,7 +11,7 @@ __all__ = ["LatencyRecorder"]
 class LatencyRecorder:
     """Collects per-operation latencies (seconds) and summarises them."""
 
-    def __init__(self, name: str = ""):
+    def __init__(self, name: str = "") -> None:
         self.name = name
         self._samples: List[float] = []
 
@@ -77,7 +77,7 @@ class LatencyRecorder:
         """Fold another recorder's samples into this one."""
         self._samples.extend(other._samples)
 
-    def summary(self) -> dict:
+    def summary(self) -> Dict[str, float]:
         """Stats as a plain dict (for table printing)."""
         return {
             "count": self.count,

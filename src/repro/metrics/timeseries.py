@@ -11,7 +11,7 @@ __all__ = ["ThroughputSeries"]
 class ThroughputSeries:
     """Buckets bytes (and ops) into fixed time intervals."""
 
-    def __init__(self, interval: float = 1.0, name: str = ""):
+    def __init__(self, interval: float = 1.0, name: str = "") -> None:
         if interval <= 0:
             raise ValueError(f"interval must be positive, got {interval}")
         self.interval = interval

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Any, Dict
 
 __all__ = ["CpuSnapshot", "cpu_usage", "StorageBreakdown", "storage_breakdown"]
 
@@ -27,7 +27,7 @@ class CpuSnapshot:
         return 100.0 * self.mean
 
 
-def cpu_usage(cluster, since: float = 0.0) -> CpuSnapshot:
+def cpu_usage(cluster: Any, since: float = 0.0) -> CpuSnapshot:
     """Measure CPU utilisation of every storage node since ``since``."""
     return CpuSnapshot(
         per_node={
@@ -44,7 +44,7 @@ class StorageBreakdown:
     total: int
 
 
-def storage_breakdown(cluster) -> StorageBreakdown:
+def storage_breakdown(cluster: Any) -> StorageBreakdown:
     """Raw bytes (all replicas/shards + metadata) used by each pool."""
     per_pool = {
         name: cluster.pool_used_bytes(pool) for name, pool in cluster.pools.items()

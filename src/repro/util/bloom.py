@@ -9,6 +9,7 @@ from the target capacity and false-positive rate.
 from __future__ import annotations
 
 import math
+from typing import Iterator
 
 from ..sim.rng import derive_seed
 
@@ -18,7 +19,7 @@ __all__ = ["BloomFilter"]
 class BloomFilter:
     """Standard Bloom filter with double hashing for the k probes."""
 
-    def __init__(self, capacity: int, error_rate: float = 0.01):
+    def __init__(self, capacity: int, error_rate: float = 0.01) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         if not (0.0 < error_rate < 1.0):
@@ -30,7 +31,7 @@ class BloomFilter:
         self._bits = bytearray((self.num_bits + 7) // 8)
         self.count = 0
 
-    def _probes(self, item: str):
+    def _probes(self, item: str) -> Iterator[int]:
         h1 = derive_seed(0, item)
         h2 = derive_seed(1, item) | 1
         for i in range(self.num_hashes):

@@ -22,7 +22,7 @@ class IntervalSet:
     per-object hole tracking (a handful of chunks).
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._ivs: List[Tuple[int, int]] = []
 
     def __len__(self) -> int:
@@ -34,7 +34,7 @@ class IntervalSet:
     def __bool__(self) -> bool:
         return bool(self._ivs)
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         if isinstance(other, IntervalSet):
             return self._ivs == other._ivs
         return NotImplemented

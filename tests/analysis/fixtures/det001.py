@@ -1,0 +1,19 @@
+"""DET001 fixture: wall-clock reads in a simulated component.
+
+Linted with a module override placing it under ``repro.core``.
+"""
+
+import datetime
+import time
+from time import perf_counter as pc
+
+
+def stamp():
+    t = time.time()  # line 12: DET001
+    u = pc()  # line 13: DET001 (aliased import)
+    d = datetime.datetime.now()  # line 14: DET001
+    return t, u, d
+
+
+def referenced_not_called():
+    return time.perf_counter  # no call: clean

@@ -1,0 +1,24 @@
+"""DET002 fixture: randomness outside the registry streams.
+
+Linted with a module override placing it under ``repro.workloads``
+(the rule scope is the whole ``repro`` package).
+"""
+
+import random
+
+import numpy as np
+
+
+def draws():
+    a = random.random()  # line 13: DET002 (global stream)
+    b = random.Random()  # line 14: DET002 (unseeded)
+    c = random.SystemRandom()  # line 15: DET002 (OS entropy)
+    d = np.random.rand()  # line 16: DET002 (numpy global)
+    e = np.random.default_rng()  # line 17: DET002 (unseeded generator)
+    return a, b, c, d, e
+
+
+def sanctioned(seed):
+    table_rng = random.Random(seed)  # seeded: clean
+    gen = np.random.default_rng(seed)  # seeded: clean
+    return table_rng, gen

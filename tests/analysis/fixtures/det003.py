@@ -1,0 +1,36 @@
+"""DET003 fixture: iteration over sets with unpinned order.
+
+Linted with a module override placing it under ``repro.core``.
+"""
+
+
+def loop_over_set(items):
+    acc = []
+    s = set(items)
+    for x in s:  # line 10: DET003 (set-typed local)
+        acc.append(x)
+    return acc
+
+
+def literal_comprehension():
+    return [x for x in {1, 2, 3}]  # line 16: DET003 (set literal)
+
+
+def list_of_setcomp(items):
+    return list({i for i in items})  # line 20: DET003 (list(set))
+
+
+def union_iteration(a, b):
+    left = set(a)
+    right = set(b)
+    for x in left | right:  # line 26: DET003 (set union)
+        yield x
+
+
+def order_insensitive(items):
+    s = set(items)
+    total = sum(v for v in s)  # sum collapses order: clean
+    flags = any(v > 0 for v in s)  # any collapses order: clean
+    for x in sorted(s):  # sorted pins order: clean
+        total += x
+    return total, flags

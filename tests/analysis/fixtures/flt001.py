@@ -1,0 +1,43 @@
+"""FLT001 fixture: substrate mutations in and out of fault scopes.
+
+Linted with a module override placing it under ``repro.core``.
+"""
+
+from repro.faults.errors import is_retryable
+
+
+def unguarded(cluster, pool, oid, txn, via):
+    yield from cluster.submit(pool, oid, txn, via)  # line 10: FLT001
+
+
+def unguarded_remove(cluster, pool, oid, via):
+    yield from cluster.remove(pool, oid, via)  # line 14: FLT001
+
+
+def guarded_by_retry(tier, pool, oid, txn, via):
+    result = yield from tier.retrying(
+        lambda: tier.cluster.submit(pool, oid, txn, via), op="submit"
+    )
+    return result
+
+
+def guarded_by_handler(cluster, pool, oid, txn, via):
+    try:
+        yield from cluster.submit(pool, oid, txn, via)
+    except Exception as exc:
+        if not is_retryable(exc):
+            raise
+        return "faulted"
+    return "done"
+
+
+def guarded_by_swallow(cluster, pool, oid, via):
+    try:
+        yield from cluster.remove(pool, oid, via)
+    except Exception:
+        pass  # best-effort cleanup: a fault here is absorbed
+
+
+# repro-lint: flt-scope -- fixture: commit primitive whose callers own the fault scope
+def guarded_by_marker(cluster, pool, oid, txn, via):
+    yield from cluster.submit(pool, oid, txn, via)

@@ -1,0 +1,10 @@
+"""REF001 fixture: chunk_ref acquisitions with no release path.
+
+Linted with a module override placing it under ``repro.core`` so the
+component under check is ``core``; the paired fixture adds the release.
+"""
+
+
+def take_reference(tier, fp, ref, data, via):
+    stored = yield from tier.chunk_ref(fp, ref, data, via)  # line 9: REF001 when unpaired
+    return stored

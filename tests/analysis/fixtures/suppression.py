@@ -1,0 +1,19 @@
+"""Suppression fixture: justified, unjustified, and standalone forms.
+
+Linted with a module override placing it under ``repro.core``.
+"""
+
+import time
+
+
+def justified_trailing():
+    return time.time()  # repro-lint: disable=DET001 -- fixture: observability only
+
+
+def unjustified_trailing():
+    return time.time()  # repro-lint: disable=DET001
+
+
+def justified_standalone():
+    # repro-lint: disable=DET001 -- fixture: next-line suppression form
+    return time.time()

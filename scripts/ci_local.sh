@@ -37,8 +37,8 @@ with open(".github/workflows/ci.yml") as fh:
     doc = yaml.safe_load(fh)
 jobs = doc["jobs"]
 expected = {
-    "lint", "lint-invariants", "test", "coverage", "faults-smoke",
-    "perf-smoke", "perf-baseline-refresh", "bench-smoke",
+    "lint", "lint-invariants", "test", "test-no-numpy", "coverage",
+    "faults-smoke", "perf-smoke", "perf-baseline-refresh", "bench-smoke",
 }
 assert expected <= set(jobs), jobs.keys()
 matrix = jobs["test"]["strategy"]["matrix"]["python-version"]
@@ -66,6 +66,13 @@ step "lint-invariants: mypy gate" python scripts/mypy_gate.py
 # -- test job (this interpreter stands in for the version matrix) -----------
 step "test: tier-1 suite" env PYTHONPATH=src python -m pytest -x -q
 
+# -- test-no-numpy job -------------------------------------------------------
+# CI uninstalls NumPy outright; locally REPRO_NO_NUMPY=1 forces the same
+# pure-Python fallback paths (chunking reference scanners, GF(256) via
+# bytes.translate) without touching the environment.
+step "test-no-numpy: tier-1 suite, pure-Python fallback" \
+    env PYTHONPATH=src REPRO_NO_NUMPY=1 python -m pytest -x -q
+
 # -- coverage job -----------------------------------------------------------
 if python -c "import pytest_cov" >/dev/null 2>&1; then
     step "coverage: tier-1 suite with floor" \
@@ -86,7 +93,7 @@ done
 
 # -- perf-smoke job ---------------------------------------------------------
 step "perf-smoke: harness vs committed baseline" \
-    env PYTHONPATH=src python -m repro perf --fast \
+    env PYTHONPATH=src python -m repro perf --fast --workers 4 \
     --out BENCH_perf.json \
     --baseline benchmarks/baselines/perf_baseline.json
 

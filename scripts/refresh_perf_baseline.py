@@ -25,14 +25,23 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--speedup-floor",
         type=float,
-        default=1.3,
+        default=1.5,
         help="min_speedup_floor to embed (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help=(
+            "fingerprint workers for the run (default: %(default)s, "
+            "matching the perf-smoke gate invocation)"
+        ),
     )
     args = parser.parse_args(argv)
 
     from repro.perf.harness import render_report, run_perf
 
-    report = run_perf(fast=True)
+    report = run_perf(fast=True, workers=args.workers)
     for line in render_report(report):
         print(line)
     if not report["summary"]["all_verified"]:
@@ -45,7 +54,9 @@ def main(argv=None) -> int:
             "perf-baseline-refresh workflow_dispatch job "
             "(scripts/refresh_perf_baseline.py)."
         ),
-        "recorded_with": "repro perf --fast (seed 0, schema 1)",
+        "recorded_with": (
+            f"repro perf --fast --workers {args.workers} (seed 0, schema 1)"
+        ),
         "min_speedup_floor": args.speedup_floor,
         "calibrated_ops_per_sec": {
             name: round(rate)

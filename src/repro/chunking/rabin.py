@@ -10,12 +10,22 @@ function of the last ``window_size`` bytes.
 
 Slower than gear (two table lookups per byte) but the reference
 algorithm — kept alongside it for the chunking ablation.
+
+Like the gear chunker, this has both a byte-at-a-time reference scanner
+and a NumPy-vectorized one.  The fingerprint is GF(2)-linear, so the
+window value at any position decomposes into per-distance contributions
+``W_d[b] = b * x**(8 d) mod P`` combined with XOR — exactly the shape
+:func:`repro.chunking._vector.windowed_values` evaluates in bulk.  Both
+scanners emit byte-identical :class:`ChunkSpan` lists (cross-validated
+in ``tests/chunking/test_vectorized_equiv.py``).
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
+from . import _vector
+from ._vector import HAVE_NUMPY, scan_first_match
 from .base import ChunkSpan
 
 __all__ = ["RabinChunker"]
@@ -56,15 +66,40 @@ def _append_byte_raw(fp: int, byte: int, mod_table) -> int:
 
 _MOD_TABLE, _OUT_TABLE = _build_tables()
 
+# Per-distance window tables for the vectorized scan: row d holds
+# b * x^(8 d) mod P, the contribution of the byte d positions behind
+# the scan head.  XORing one gather per row reproduces the rolling
+# fingerprint at every position at once.
+_WINDOW_TABLES = None
+
+
+def _window_tables():
+    global _WINDOW_TABLES
+    if _WINDOW_TABLES is None:
+        np = _vector.np
+        rows = []
+        row = list(range(256))
+        for _ in range(_WINDOW_SIZE):
+            rows.append(row)
+            row = [_append_byte_raw(v, 0, _MOD_TABLE) for v in row]
+        _WINDOW_TABLES = np.array(rows, dtype=np.uint64)
+    return _WINDOW_TABLES
+
 
 class RabinChunker:
-    """Content-defined chunker using a Rabin rolling fingerprint."""
+    """Content-defined chunker using a Rabin rolling fingerprint.
+
+    ``vectorized`` selects the boundary scanner exactly as in
+    :class:`~repro.chunking.GearChunker`: ``None`` auto-detects NumPy,
+    ``True`` requires it, ``False`` forces the reference scanner.
+    """
 
     def __init__(
         self,
         avg_size: int = 32 * 1024,
         min_size: int | None = None,
         max_size: int | None = None,
+        vectorized: Optional[bool] = None,
     ):
         if avg_size < 256:
             raise ValueError(f"avg_size too small: {avg_size}")
@@ -81,8 +116,17 @@ class RabinChunker:
         self._mask = avg_size - 1
         #: Boundary pattern: fp & mask == magic.
         self._magic = self._mask & 0x78F5C2A1
+        if vectorized is None:
+            vectorized = HAVE_NUMPY
+        elif vectorized and not HAVE_NUMPY:
+            raise RuntimeError(
+                "vectorized chunking requires NumPy (pip install repro[fast])"
+            )
+        self.vectorized = vectorized
+        self._tables = _window_tables() if vectorized else None
 
     def _find_boundary(self, data: bytes, start: int) -> int:
+        """Reference scanner: one interpreted step per byte."""
         n = len(data)
         end = min(start + self.max_size, n)
         if n - start <= self.min_size:
@@ -102,13 +146,35 @@ class RabinChunker:
                 return i
         return end
 
+    def _find_boundary_vectorized(self, view: memoryview, start: int) -> int:
+        """NumPy scan; emits the same cut points as :meth:`_find_boundary`.
+
+        The reference scanner starts rolling ``WINDOW_SIZE`` bytes
+        before ``min_size`` (the warm-up) and first tests the boundary
+        pattern once ``min_size`` bytes are consumed; ``clamp`` marks
+        the warm-up start so early positions see the same partially
+        filled window.
+        """
+        n = len(view)
+        end = min(start + self.max_size, n)
+        if n - start <= self.min_size:
+            return n
+        clamp = start + max(0, self.min_size - _WINDOW_SIZE)
+        first_tested = start + self.min_size - 1
+        hit = scan_first_match(
+            view, first_tested, end, clamp, self._tables, self._mask, self._magic,
+            xor=True,
+        )
+        return hit + 1 if hit >= 0 else end
+
     def chunk(self, data) -> List[ChunkSpan]:
         """Split ``data`` at Rabin-fingerprint boundaries (zero-copy spans)."""
         view = memoryview(data)
+        find = self._find_boundary_vectorized if self.vectorized else self._find_boundary
         spans = []
         pos = 0
         while pos < len(view):
-            cut = self._find_boundary(view, pos)
+            cut = find(view, pos)
             spans.append(ChunkSpan(offset=pos, length=cut - pos, data=view[pos:cut]))
             pos = cut
         return spans

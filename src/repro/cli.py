@@ -145,7 +145,7 @@ def _cmd_perf(args) -> int:
     from .perf import harness
 
     report = harness.run_perf(
-        fast=True if args.fast else None, seed=args.seed
+        fast=True if args.fast else None, seed=args.seed, workers=args.workers
     )
     for line in harness.render_report(report):
         print(line)
@@ -281,6 +281,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--fast",
         action="store_true",
         help="small workloads (also via REPRO_BENCH_FAST=1)",
+    )
+    perf.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fingerprint pool threads for the dedup pipeline "
+        "(default: os.cpu_count(); 1 = serial inline hashing)",
     )
     perf.add_argument(
         "--out",

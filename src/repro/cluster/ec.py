@@ -10,15 +10,33 @@ column-wise, the last ``m`` are parity.  The generator matrix is a
 Vandermonde matrix normalised so its top ``k`` rows are the identity,
 which guarantees the MDS property (any ``k`` of the ``k+m`` rows are
 invertible).
+
+NumPy is an optional extra (``pip install repro[fast]``): with it, shard
+arithmetic runs on uint8 arrays; without it (or with ``REPRO_NO_NUMPY``
+set), the same scalar-times-shard products run through cached 256-byte
+``bytes.translate`` tables and bigint XOR — slower, but byte-identical.
 """
 
 from __future__ import annotations
 
+import os
 from typing import List, Optional, Sequence
 
-import numpy as np
+try:
+    if os.environ.get("REPRO_NO_NUMPY"):
+        raise ImportError("NumPy disabled via REPRO_NO_NUMPY")
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised via the no-NumPy CI leg
+    np = None  # type: ignore[assignment]
 
 __all__ = ["GF256", "ReedSolomon"]
+
+
+def _xor_bytes(a: bytes, b: bytes) -> bytes:
+    """XOR two equal-length byte strings (bigint trick: one C-level op)."""
+    return (
+        int.from_bytes(a, "little") ^ int.from_bytes(b, "little")
+    ).to_bytes(len(a), "little")
 
 
 class GF256:
@@ -29,15 +47,18 @@ class GF256:
     lets exp/log tables be built from powers of 2.
     """
 
-    _EXP: Optional[np.ndarray] = None
-    _LOG: Optional[np.ndarray] = None
-    _MUL: Optional[np.ndarray] = None
+    _EXP: Optional[List[int]] = None
+    _LOG: Optional[List[int]] = None
+    #: Row ``a`` is the 256-byte product table ``a * b`` for every byte
+    #: ``b`` — directly usable with ``bytes.translate``.
+    _MUL_ROWS: Optional[List[bytes]] = None
+    _MUL_NP = None  # (256, 256) uint8 array when NumPy is available
 
     @classmethod
     def _tables(cls):
         if cls._EXP is None:
-            exp = np.zeros(512, dtype=np.uint8)
-            log = np.zeros(256, dtype=np.int32)
+            exp = [0] * 512
+            log = [0] * 256
             x = 1
             for i in range(255):
                 exp[i] = x
@@ -46,17 +67,29 @@ class GF256:
                 if x & 0x100:
                     x ^= 0x11D
             exp[255:510] = exp[:255]
-            mul = np.zeros((256, 256), dtype=np.uint8)
+            rows = [bytes(256)]
             for a in range(1, 256):
-                mul[a, 1:] = exp[(log[a] + log[1:256]) % 255]
-            cls._EXP, cls._LOG, cls._MUL = exp, log, mul
-        return cls._EXP, cls._LOG, cls._MUL
+                rows.append(
+                    bytes([0] + [exp[(log[a] + log[b]) % 255] for b in range(1, 256)])
+                )
+            cls._EXP, cls._LOG, cls._MUL_ROWS = exp, log, rows
+            if np is not None:
+                cls._MUL_NP = np.frombuffer(b"".join(rows), dtype=np.uint8).reshape(
+                    256, 256
+                )
+        return cls._EXP, cls._LOG, cls._MUL_ROWS
 
     @classmethod
     def mul(cls, a: int, b: int) -> int:
         """Multiply two field elements."""
-        _, _, mul = cls._tables()
-        return int(mul[a, b])
+        _, _, rows = cls._tables()
+        return rows[a][b]
+
+    @classmethod
+    def mul_row(cls, a: int) -> bytes:
+        """The 256-entry ``translate`` table multiplying every byte by ``a``."""
+        _, _, rows = cls._tables()
+        return rows[a]
 
     @classmethod
     def inv(cls, a: int) -> int:
@@ -64,7 +97,7 @@ class GF256:
         if a == 0:
             raise ZeroDivisionError("GF(256) inverse of zero")
         exp, log, _ = cls._tables()
-        return int(exp[255 - int(log[a])])
+        return exp[255 - log[a]]
 
     @classmethod
     def pow(cls, a: int, n: int) -> int:
@@ -74,13 +107,13 @@ class GF256:
         if a == 0:
             return 0
         exp, log, _ = cls._tables()
-        return int(exp[(int(log[a]) * n) % 255])
+        return exp[(log[a] * n) % 255]
 
     @classmethod
-    def mul_bytes(cls, coef: int, data: np.ndarray) -> np.ndarray:
-        """Multiply every byte of ``data`` by the scalar ``coef``."""
-        _, _, mul = cls._tables()
-        return mul[coef][data]
+    def mul_bytes(cls, coef: int, data):
+        """Multiply every byte of ``data`` (uint8 array) by ``coef``."""
+        cls._tables()
+        return cls._MUL_NP[coef][data]
 
     @classmethod
     def mat_mul(cls, a: Sequence[Sequence[int]], b: Sequence[Sequence[int]]) -> List[List[int]]:
@@ -138,8 +171,6 @@ class ReedSolomon:
         self.m = m
         self.n = k + m
         self._matrix = self._systematic_vandermonde(k, self.n)
-        # Parity rows as a numpy array for fast encoding.
-        self._parity = np.array(self._matrix[k:], dtype=np.uint8)
 
     @staticmethod
     def _systematic_vandermonde(k: int, n: int) -> List[List[int]]:
@@ -158,6 +189,8 @@ class ReedSolomon:
         remember the original length to :meth:`decode`.
         """
         size = self.shard_size(len(data)) if data else 1
+        if np is None:
+            return self._encode_py(data, size)
         if data and len(data) % self.k == 0:
             # Aligned payload: view the caller's buffer directly instead
             # of allocating + copying a padded array (read-only is fine —
@@ -172,10 +205,22 @@ class ReedSolomon:
         for row in range(self.m):
             acc = np.zeros(size, dtype=np.uint8)
             for col in range(self.k):
-                coef = int(self._parity[row, col])
+                coef = self._matrix[self.k + row][col]
                 if coef:
                     acc ^= GF256.mul_bytes(coef, data_shards[col])
             shards.append(bytes(acc))
+        return shards
+
+    def _encode_py(self, data: bytes, size: int) -> List[bytes]:
+        padded = bytes(data).ljust(size * self.k, b"\x00")
+        shards = [padded[i * size : (i + 1) * size] for i in range(self.k)]
+        for row in range(self.m):
+            acc = bytes(size)
+            for col in range(self.k):
+                coef = self._matrix[self.k + row][col]
+                if coef:
+                    acc = _xor_bytes(acc, shards[col].translate(GF256.mul_row(coef)))
+            shards.append(acc)
         return shards
 
     def decode(self, shards: Sequence[Optional[bytes]], length: int) -> bytes:
@@ -198,6 +243,8 @@ class ReedSolomon:
         sub = [self._matrix[i] for i in use]
         inv = GF256.mat_inv(sub)
         size = len(shards[use[0]])
+        if np is None:
+            return self._decode_py(shards, use, inv, size, length)
         survivors = [
             np.frombuffer(shards[i], dtype=np.uint8) for i in use
         ]
@@ -211,6 +258,20 @@ class ReedSolomon:
             out.append(acc)
         payload = b"".join(bytes(chunk) for chunk in out)
         return payload[:length]
+
+    def _decode_py(self, shards, use, inv, size, length) -> bytes:
+        survivors = [bytes(shards[i]) for i in use]
+        out = []
+        for row in range(self.k):
+            acc = bytes(size)
+            for col in range(self.k):
+                coef = inv[row][col]
+                if coef:
+                    acc = _xor_bytes(
+                        acc, survivors[col].translate(GF256.mul_row(coef))
+                    )
+            out.append(acc)
+        return b"".join(out)[:length]
 
     def reconstruct_shard(self, shards: Sequence[Optional[bytes]], index: int, length: int) -> bytes:
         """Recompute the single shard ``index`` from the survivors."""

@@ -28,12 +28,11 @@ source of truth.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from time import perf_counter
 from typing import Optional
 
 from ..cluster import Transaction
 from ..faults.errors import is_retryable
-from ..fingerprint import fingerprint
+from ..fingerprint import FingerprintPool
 from .objects import CHUNK_MAP_XATTR, ChunkRef
 from .refcount import make_refcounter
 from .tier import ChunkBatch, DedupTier, NodeClient
@@ -74,6 +73,8 @@ class DedupEngine:
         self._running = False
         self._procs = []
         self._promoting = set()
+        self._fp_pool: Optional[FingerprintPool] = None
+        self._fp_workers: Optional[int] = None
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -82,12 +83,44 @@ class DedupEngine:
         """Whether any background worker is active."""
         return self._running and any(p.is_alive for p in self._procs)
 
-    def start(self, workers: Optional[int] = None) -> None:
+    @property
+    def fingerprint_pool(self) -> FingerprintPool:
+        """The engine's digest pool (created lazily).
+
+        Sized from the ``fingerprint_workers`` override given to
+        :meth:`start`, falling back to ``config.fingerprint_workers``
+        (``None`` → ``os.cpu_count()``, resolved by the pool itself).
+        """
+        if self._fp_pool is None:
+            workers = self._fp_workers
+            if workers is None:
+                workers = self.config.fingerprint_workers
+            self._fp_pool = FingerprintPool(
+                workers=workers, algorithm=self.config.fingerprint_algorithm
+            )
+        return self._fp_pool
+
+    def set_fingerprint_workers(self, workers: Optional[int]) -> None:
+        """Resize the digest pool (takes effect on the next flush pass)."""
+        self._fp_workers = workers
+        if self._fp_pool is not None:
+            self._fp_pool.shutdown()
+            self._fp_pool = None
+
+    def start(
+        self,
+        workers: Optional[int] = None,
+        fingerprint_workers: Optional[int] = None,
+    ) -> None:
         """Launch the background worker loops (idempotent).
 
         ``workers`` defaults to ``config.engine_workers`` — the paper's
         design runs multiple background deduplication threads.
+        ``fingerprint_workers`` sizes the digest thread pool shared by
+        all of them (see :class:`~repro.fingerprint.FingerprintPool`).
         """
+        if fingerprint_workers is not None:
+            self.set_fingerprint_workers(fingerprint_workers)
         if self.running:
             return
         self._running = True
@@ -168,6 +201,14 @@ class DedupEngine:
         batch = ChunkBatch() if tier.batching_enabled else None
         planned = []  # (batch op index, fp, ref, nbytes) awaiting commit
         changed = False
+        pool = self.fingerprint_pool
+        # Stage 1 of the flush pipeline assembles each dirty chunk's
+        # bytes; the digests then fan out to the pool in one sharded
+        # batch, and stage 2 consumes the results strictly in submission
+        # order — every map/refcount update happens in the same sequence
+        # as the sequential path regardless of hashing-thread scheduling.
+        staged = []  # (chunk index, entry, data) awaiting fingerprints
+        handles = []  # aligned FingerprintHandles once stage 1 completes
         try:
             for idx in cmap.dirty_indices():
                 entry = cmap.get(idx)
@@ -202,11 +243,11 @@ class DedupEngine:
                 tier.stage.chunking_ops += 1
                 tier.stage.chunking_bytes += len(data)
                 yield from primary.node.cpu.fingerprint(len(data))
-                # Wall-clock here measures real CPU cost of the digest for
-                # the stage report; it never feeds simulated time or state.
-                started = perf_counter()  # repro-lint: disable=DET001 -- observability only: stage-report timing, not simulated state
-                fp = fingerprint(data, self.config.fingerprint_algorithm)
-                tier.stage.fingerprint_seconds += perf_counter() - started  # repro-lint: disable=DET001 -- observability only: stage-report timing, not simulated state
+                staged.append((idx, entry, data))
+            handles = pool.submit_many(data for _idx, _entry, data in staged)
+            for (idx, entry, data), handle in zip(staged, handles):
+                fp = handle.result()
+                tier.stage.fingerprint_seconds += handle.seconds
                 tier.stage.fingerprint_ops += 1
                 tier.stage.fingerprint_bytes += len(data)
                 ref = ChunkRef(tier.metadata_pool.pool_id, oid, entry.offset)
@@ -280,17 +321,47 @@ class DedupEngine:
             # I/O path's retries gave up) abandons the pass *before* the
             # chunk map commits — the dirty bits stay authoritative, so
             # nothing is lost.  References taken this pass are released;
-            # the object comes back via the dirty list.
+            # the object comes back via the dirty list.  Fingerprint
+            # futures still in flight are consumed first so the aborted
+            # pass leaves nothing outstanding in the pool.
+            self._abandon_staged(handles)
             if not is_retryable(exc):
                 raise
             yield from self._undo_refs(taken, via)
             self.stats.objects_requeued_fault += 1
             tier.requeue_dirty(oid, delay=self.config.fault_requeue_delay)
             return "faulted"
+        finally:
+            self._sync_pool_stats()
         if pending_derefs:
             yield from self._apply_derefs(pending_derefs, via)
         self.stats.objects_processed += 1
         return "done"
+
+    def _abandon_staged(self, handles) -> None:
+        """Settle every staged fingerprint future (idempotent, no-throw).
+
+        ``FingerprintHandle.result()`` removes the task from the pool's
+        outstanding set even on failure, so after this the pool holds no
+        reference to any chunk payload from the aborted pass.
+        """
+        for handle in handles:
+            try:
+                handle.result()
+            except Exception:
+                pass
+
+    def _sync_pool_stats(self) -> None:
+        """Mirror the digest pool's counters into the stage report."""
+        pool = self._fp_pool
+        if pool is None:
+            return
+        stage = self.tier.stage
+        stage.fingerprint_workers = pool.workers
+        stage.fingerprint_pool_tasks = pool.stats.tasks
+        stage.fingerprint_pool_spans = pool.stats.spans
+        stage.fingerprint_pool_busy_seconds = pool.stats.busy_seconds
+        stage.fingerprint_pool_wall_seconds = pool.stats.wall_seconds
 
     def _apply_derefs(self, pairs, via):
         """Process: release old-chunk references after the map commits.
@@ -485,6 +556,12 @@ class DedupEngine:
                 raise RuntimeError("drain did not converge")
             if result == "raced":
                 continue
+        # Quiesce the digest pool before GC: an aborted mid-pipeline
+        # flush must not leave futures (holding chunk payloads) in
+        # flight while the collector decides what is reachable.
+        if self._fp_pool is not None:
+            self._fp_pool.quiesce()
+            self._sync_pool_stats()
         if run_gc:
             node = next(iter(self.tier.cluster.nodes.values()))
             yield from self.refcount.gc(NodeClient(node))

@@ -2,6 +2,7 @@
 
 from .fingerprint import FINGERPRINT_ALGORITHMS, fingerprint, fingerprint_size
 from .index import FingerprintIndex, IndexStats
+from .pool import FingerprintHandle, FingerprintPool, PoolStats
 
 __all__ = [
     "fingerprint",
@@ -9,4 +10,7 @@ __all__ = [
     "FINGERPRINT_ALGORITHMS",
     "FingerprintIndex",
     "IndexStats",
+    "FingerprintHandle",
+    "FingerprintPool",
+    "PoolStats",
 ]

@@ -4,7 +4,10 @@ Runs fixed-seed fio and backup workloads twice — once with the hot-path
 optimisations off (no ref batching, no RefSet cache, no negative Bloom
 filter: the per-op baseline) and once with them on — and measures real
 host time, simulated time, and the per-stage counters
-(:class:`~repro.perf.stages.StageCounters`) for each.
+(:class:`~repro.perf.stages.StageCounters`) for each.  A third,
+simulator-free ``pipeline-chunk-fingerprint`` workload isolates the
+chunk → fingerprint pipeline itself: reference boundary scan + serial
+hashing vs the NumPy-vectorized scan + ``FingerprintPool`` fan-out.
 
 Every pair is also *verified*: both modes must produce byte-identical
 read-back, identical chunk refcounts, and the same (clean) scrub
@@ -28,9 +31,15 @@ from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Dict, List, Optional
 
+from collections import Counter
+
 from ..bench.harness import KiB, MiB, build_cluster, proposed
+from ..chunking import GearChunker, validate_chunking
+from ..chunking._vector import HAVE_NUMPY
 from ..core.scrub import scrub_sync
-from ..workloads import BackupSpec, BackupStream, FioJobSpec, FioRunner
+from ..fingerprint import FingerprintPool
+from ..workloads import BackupSpec, BackupStream, ContentGenerator, FioJobSpec, FioRunner
+from .stages import StageCounters
 
 __all__ = [
     "FAST",
@@ -271,13 +280,76 @@ def _run_backup_mode(mode: str, overrides: dict, seed: int, fast: bool) -> ModeR
     return _collect(storage, mode, wall, sim0, ops, dedup_wall, readback)
 
 
+def _run_pipeline_mode(mode: str, overrides: dict, seed: int, fast: bool) -> ModeResult:
+    """Chunk → fingerprint pipeline in isolation (no simulator).
+
+    Measures the two stages this PR vectorizes/parallelises on a seeded
+    content stream: ``unbatched`` is the pre-optimisation path (pure-
+    Python reference boundary scan, serial inline hashing) and
+    ``batched`` is the optimised one (NumPy-vectorized scan when
+    available, digest fan-out over the configured ``fingerprint_workers``).
+    Verification doubles as an end-to-end equivalence check: both modes
+    must produce identical (offset, length, digest) streams, which is
+    exactly the byte-identical-boundaries invariant.
+    """
+    total = (4 if fast else 16) * MiB
+    gen = ContentGenerator(seed=seed, dedupe_ratio=0.5)
+    data = b"".join(gen.block(64 * KiB) for _ in range(total // (64 * KiB)))
+    optimised = mode == "batched"
+    chunker = GearChunker(
+        avg_size=8 * KiB, vectorized=(HAVE_NUMPY if optimised else False)
+    )
+    workers = overrides.get("fingerprint_workers") if optimised else 1
+    pool = FingerprintPool(workers=workers)
+    started = perf_counter()
+    spans = chunker.chunk(data)
+    handles = pool.submit_many(span.as_bytes() for span in spans)
+    digests = [handle.result() for handle in handles]
+    wall = perf_counter() - started
+    pool.shutdown()
+    validate_chunking(data, spans)
+    readback = hashlib.sha1()
+    for span, digest in zip(spans, digests):
+        readback.update(f"{span.offset}:{span.length}:{digest};".encode())
+    stage = StageCounters(
+        chunking_ops=len(spans),
+        chunking_bytes=total,
+        fingerprint_ops=len(spans),
+        fingerprint_bytes=total,
+        fingerprint_seconds=pool.stats.busy_seconds,
+        fingerprint_workers=pool.workers,
+        fingerprint_pool_tasks=pool.stats.tasks,
+        fingerprint_pool_spans=pool.stats.spans,
+        fingerprint_pool_busy_seconds=pool.stats.busy_seconds,
+        fingerprint_pool_wall_seconds=pool.stats.wall_seconds,
+    )
+    return ModeResult(
+        mode=mode,
+        wall_seconds=wall,
+        sim_seconds=0.0,
+        ops=len(spans),
+        dedup_wall_seconds=wall,
+        dedup_ops=len(spans),
+        stages=stage.snapshot(),
+        readback_digest=readback.hexdigest(),
+        refcounts=dict(Counter(digests)),
+        scrub_clean=True,  # validate_chunking() above did not raise
+    )
+
+
 WORKLOADS = {
     "fio-small-random": _run_fio_mode,
     "backup-incremental": _run_backup_mode,
+    "pipeline-chunk-fingerprint": _run_pipeline_mode,
 }
 
 
-def run_perf(fast: Optional[bool] = None, seed: int = 0, repeats: int = 5) -> dict:
+def run_perf(
+    fast: Optional[bool] = None,
+    seed: int = 0,
+    repeats: int = 5,
+    workers: Optional[int] = None,
+) -> dict:
     """Run every workload in both modes; returns the report dict.
 
     Each (workload, mode) pair is measured ``repeats`` times with the
@@ -286,18 +358,34 @@ def run_perf(fast: Optional[bool] = None, seed: int = 0, repeats: int = 5) -> di
     work, and scheduler jitter or allocator state only ever slow a run
     down — the minimum is the least-noise estimate of the host cost,
     and interleaving keeps slow drift from biasing one mode.
+
+    ``workers`` sizes the engine's fingerprint pool (default
+    ``os.cpu_count()``).  It applies to *both* modes of the simulated
+    workloads — hashing parallelism is orthogonal to the optimisations
+    those pairs isolate, and keeping it symmetric keeps their speedup
+    ratio comparable across machines with different core counts.  The
+    ``pipeline-chunk-fingerprint`` workload is the one that contrasts
+    it: serial reference scan vs vectorized scan + ``workers`` threads.
     """
     fast = FAST if fast is None else fast
+    resolved_workers = workers if workers is not None else (os.cpu_count() or 1)
     score = machine_score()
     workloads: List[WorkloadResult] = []
     for name, runner in WORKLOADS.items():
         unbatched: Optional[ModeResult] = None
         batched: Optional[ModeResult] = None
         for _ in range(repeats):
-            u = runner("unbatched", UNBATCHED, seed, fast)
+            u = runner(
+                "unbatched",
+                dict(UNBATCHED, fingerprint_workers=resolved_workers),
+                seed,
+                fast,
+            )
             if unbatched is None or u.dedup_wall_seconds < unbatched.dedup_wall_seconds:
                 unbatched = u
-            b = runner("batched", {}, seed, fast)
+            b = runner(
+                "batched", dict(fingerprint_workers=resolved_workers), seed, fast
+            )
             if batched is None or b.dedup_wall_seconds < batched.dedup_wall_seconds:
                 batched = b
         workloads.append(WorkloadResult(name, unbatched, batched))
@@ -306,6 +394,7 @@ def run_perf(fast: Optional[bool] = None, seed: int = 0, repeats: int = 5) -> di
         "schema": 1,
         "fast": fast,
         "seed": seed,
+        "workers": resolved_workers,
         "machine_score": score,
         "workloads": {w.name: w.to_dict() for w in workloads},
         "summary": {
@@ -359,6 +448,7 @@ def render_report(report: dict) -> List[str]:
     """Human-readable summary lines for the CLI."""
     lines = [
         f"perf harness (fast={report['fast']}, seed={report['seed']}, "
+        f"workers={report.get('workers', 1)}, "
         f"machine score {report['machine_score']:.0f})"
     ]
     for name, w in report["workloads"].items():
@@ -376,6 +466,15 @@ def render_report(report: dict) -> List[str]:
             f"(batches {st_b['ref_batches']}), cache hits {st_b['refset_cache_hits']}, "
             f"bloom negatives {st_b['bloom_negative_hits']}"
         )
+        pool_tasks = st_b.get("fingerprint_pool_tasks", 0)
+        if pool_tasks:
+            busy = st_b.get("fingerprint_pool_busy_seconds", 0.0)
+            pool_wall = st_b.get("fingerprint_pool_wall_seconds", 0.0)
+            parallelism = busy / pool_wall if pool_wall else 0.0
+            lines.append(
+                f"    fingerprint pool: {st_b.get('fingerprint_workers', 1)} workers, "
+                f"{pool_tasks} digests, parallelism {parallelism:.2f}x"
+            )
         v = w["verify"]
         lines.append(
             f"    verify: readback={'ok' if v['readback_identical'] else 'MISMATCH'} "

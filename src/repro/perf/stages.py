@@ -40,6 +40,14 @@ class StageCounters:
     #: Wall-clock seconds inside the hash call (synchronous, so this is
     #: real host time, not simulated time).
     fingerprint_seconds: float = 0.0
+    #: Digest-pool parallelism (see ``repro.fingerprint.FingerprintPool``):
+    #: configured worker threads, digests fanned out, busy spans, and the
+    #: busy/wall second pair whose ratio estimates achieved parallelism.
+    fingerprint_workers: int = 0
+    fingerprint_pool_tasks: int = 0
+    fingerprint_pool_spans: int = 0
+    fingerprint_pool_busy_seconds: float = 0.0
+    fingerprint_pool_wall_seconds: float = 0.0
 
     # -- ref: chunk-pool reference traffic ------------------------------
     #: Logical reference mutations (each ref or deref counts once).

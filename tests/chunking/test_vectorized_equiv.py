@@ -1,0 +1,165 @@
+"""Cross-validation: vectorized and reference scanners are byte-identical.
+
+The NumPy-vectorized boundary scan is only allowed to exist because it
+emits exactly the reference scanner's ChunkSpans — this module is the
+Hypothesis property pinning that down for both CDC chunkers across
+random buffers, size configs, and memoryview/offset inputs, plus a
+subprocess check that ``REPRO_NO_NUMPY`` really forces the fallback.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.chunking import GearChunker, RabinChunker, validate_chunking
+from repro.chunking._vector import HAVE_NUMPY
+
+if not HAVE_NUMPY:
+    pytest.skip(
+        "NumPy unavailable (or disabled via REPRO_NO_NUMPY)",
+        allow_module_level=True,
+    )
+
+# Configs chosen to hit the scan's edge regimes: default min/max, a
+# one-byte min (warm-up shorter than the rolling window), degenerate
+# min == avg == max (every cut forced by the clamp), and a wide
+# min/max spread (long easy-mask segments).
+GEAR_CONFIGS = [
+    dict(avg_size=256),
+    dict(avg_size=512, min_size=1),
+    dict(avg_size=1024, min_size=1024, max_size=1024),
+    dict(avg_size=256, min_size=8, max_size=4096),
+    dict(avg_size=64, min_size=1, max_size=64 * 8),
+]
+RABIN_CONFIGS = [
+    dict(avg_size=256),
+    dict(avg_size=512, min_size=1),
+    dict(avg_size=1024, min_size=1024, max_size=1024),
+    dict(avg_size=256, min_size=16, max_size=4096),
+]
+
+
+def assert_identical_spans(chunker_cls, cfg, data):
+    ref = chunker_cls(vectorized=False, **cfg).chunk(data)
+    vec = chunker_cls(vectorized=True, **cfg).chunk(data)
+    assert [(s.offset, s.length) for s in vec] == [
+        (s.offset, s.length) for s in ref
+    ]
+    assert vec == ref  # ChunkSpan equality also compares content
+    validate_chunking(data, vec)
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=st.binary(max_size=16384), cfg=st.sampled_from(GEAR_CONFIGS))
+def test_gear_vectorized_equals_reference(data, cfg):
+    assert_identical_spans(GearChunker, cfg, data)
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.binary(max_size=16384), cfg=st.sampled_from(RABIN_CONFIGS))
+def test_rabin_vectorized_equals_reference(data, cfg):
+    assert_identical_spans(RabinChunker, cfg, data)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    data=st.binary(min_size=1, max_size=8192),
+    offset=st.integers(min_value=0, max_value=512),
+    cls=st.sampled_from([GearChunker, RabinChunker]),
+)
+def test_memoryview_offset_inputs(data, offset, cls):
+    """Offset memoryview slices (the tier's zero-copy path) match too."""
+    view = memoryview(data)[min(offset, len(data)) :]
+    cfg = dict(avg_size=256, min_size=16)
+    ref = cls(vectorized=False, **cfg).chunk(view)
+    vec = cls(vectorized=True, **cfg).chunk(view)
+    assert [(s.offset, s.length) for s in vec] == [(s.offset, s.length) for s in ref]
+    assert [bytes(s.data) for s in vec] == [bytes(s.data) for s in ref]
+
+
+@pytest.mark.parametrize(
+    "payload",
+    [
+        b"",
+        bytes(50_000),
+        b"\xff" * 50_000,
+        bytes(range(256)) * 200,
+        b"abcd" * 12_000,
+    ],
+    ids=["empty", "zeros", "ones", "ramp", "repeat4"],
+)
+def test_structured_corpora(payload):
+    """Degenerate/repetitive streams (worst cases for rolling hashes)."""
+    for cls, configs in ((GearChunker, GEAR_CONFIGS), (RabinChunker, RABIN_CONFIGS)):
+        for cfg in configs:
+            assert_identical_spans(cls, cfg, payload)
+
+
+def test_auto_selects_vectorized_when_numpy_present():
+    assert GearChunker(avg_size=256).vectorized is True
+    assert RabinChunker(avg_size=256).vectorized is True
+
+
+def test_repro_no_numpy_forces_fallback():
+    """REPRO_NO_NUMPY=1 must flip chunking *and* EC to pure Python."""
+    code = (
+        "from repro.chunking import GearChunker, RabinChunker\n"
+        "from repro.chunking._vector import HAVE_NUMPY\n"
+        "from repro.cluster.ec import ReedSolomon\n"
+        "assert not HAVE_NUMPY\n"
+        "for cls in (GearChunker, RabinChunker):\n"
+        "    c = cls(avg_size=256)\n"
+        "    assert c.vectorized is False\n"
+        "    spans = c.chunk(bytes(range(256)) * 40)\n"
+        "    assert sum(s.length for s in spans) == 256 * 40\n"
+        "    try:\n"
+        "        cls(avg_size=256, vectorized=True)\n"
+        "    except RuntimeError:\n"
+        "        pass\n"
+        "    else:\n"
+        "        raise AssertionError('vectorized=True should fail')\n"
+        "rs = ReedSolomon(k=2, m=1)\n"
+        "shards = rs.encode(b'hello world!')\n"
+        "assert rs.decode([None, shards[1], shards[2]], length=12) == b'hello world!'\n"
+        "assert rs.reconstruct_shard([shards[0], None, shards[2]], 1, 12) == shards[1]\n"
+    )
+    env = dict(os.environ, REPRO_NO_NUMPY="1")
+    src_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", code], env=env, capture_output=True, text=True
+    )
+    assert proc.returncode == 0, proc.stderr
+
+
+def test_pure_python_ec_matches_numpy():
+    """The list/translate GF(256) paths produce NumPy-identical shards."""
+    import random
+
+    from repro.cluster.ec import ReedSolomon
+
+    rng = random.Random(3)
+    for k, m in ((2, 1), (4, 2), (3, 3)):
+        rs = ReedSolomon(k=k, m=m)
+        for size in (0, 1, 17, 4096):
+            data = bytes(rng.getrandbits(8) for _ in range(size))
+            np_shards = rs.encode(data)
+            py_shards = rs._encode_py(data, rs.shard_size(size) if data else 1)
+            assert np_shards == py_shards
+            # decode via the pure path against numpy-encoded shards
+            lost = list(np_shards)
+            for dead in range(m):
+                lost[dead] = None
+            survivors = [i for i, s in enumerate(lost) if s is not None][: rs.k]
+            from repro.cluster.ec import GF256
+
+            inv = GF256.mat_inv([rs._matrix[i] for i in survivors])
+            assert (
+                rs._decode_py(lost, survivors, inv, rs.shard_size(size) if data else 1, size)
+                == data
+            )

@@ -38,7 +38,8 @@ with open(".github/workflows/ci.yml") as fh:
 jobs = doc["jobs"]
 expected = {
     "lint", "lint-invariants", "test", "test-no-numpy", "coverage",
-    "faults-smoke", "perf-smoke", "perf-baseline-refresh", "bench-smoke",
+    "faults-smoke", "perf-smoke", "obs-smoke", "obs-overhead",
+    "perf-baseline-refresh", "bench-smoke",
 }
 assert expected <= set(jobs), jobs.keys()
 matrix = jobs["test"]["strategy"]["matrix"]["python-version"]
@@ -96,6 +97,17 @@ step "perf-smoke: harness vs committed baseline" \
     env PYTHONPATH=src python -m repro perf --fast --workers 4 \
     --out BENCH_perf.json \
     --baseline benchmarks/baselines/perf_baseline.json
+
+# -- obs-smoke job ----------------------------------------------------------
+step "obs-smoke: traced workload + integrity checks" \
+    env PYTHONPATH=src python -m repro obs trace \
+    --out trace.jsonl --metrics-out metrics.prom
+step "obs-smoke: span rollup report" \
+    env PYTHONPATH=src python -m repro obs report --trace trace.jsonl
+
+# -- obs-overhead job -------------------------------------------------------
+step "obs-overhead: tracing overhead vs untraced + baseline" \
+    env PYTHONPATH=src python scripts/check_obs_overhead.py
 
 # -- bench-smoke job (nightly; opt-in locally) ------------------------------
 if [ "$RUN_BENCH" = 1 ]; then

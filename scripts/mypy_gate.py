@@ -3,7 +3,7 @@
 
 Tier 1 — strict: the leaf packages declared in ``pyproject.toml``
 (``repro.fingerprint``, ``repro.util``, ``repro.faults``,
-``repro.metrics``, ``repro.analysis``) must produce **zero** errors
+``repro.metrics``, ``repro.analysis``, ``repro.obs``) must produce **zero** errors
 under the strict per-module overrides there.  Any error fails the gate.
 
 Tier 2 — baseline-checked: ``repro.core`` and ``repro.cluster`` are

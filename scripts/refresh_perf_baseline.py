@@ -6,6 +6,11 @@ Runs the fast-mode perf harness and writes a fresh
 .compare_to_baseline` consumes.  CI's ``perf-baseline-refresh`` job
 runs this and uploads the result as an artifact; review the numbers and
 commit the file to ``benchmarks/baselines/perf_baseline.json``.
+
+With ``--from-artifact BENCH_perf.json`` no harness runs: the baseline
+is derived from an already-recorded report — e.g. the artifact the
+perf-smoke CI job uploads — so the committed numbers can come from the
+exact machine/run that produced them.
 """
 
 from __future__ import annotations
@@ -37,13 +42,51 @@ def main(argv=None) -> int:
             "matching the perf-smoke gate invocation)"
         ),
     )
+    parser.add_argument(
+        "--from-artifact",
+        default=None,
+        metavar="PATH",
+        help=(
+            "derive the baseline from this BENCH_perf.json report "
+            "(e.g. a downloaded CI artifact) instead of running the harness"
+        ),
+    )
     args = parser.parse_args(argv)
 
     from repro.perf.harness import render_report, run_perf
 
-    report = run_perf(fast=True, workers=args.workers)
-    for line in render_report(report):
-        print(line)
+    if args.from_artifact:
+        try:
+            with open(args.from_artifact, "r", encoding="utf-8") as fh:
+                report = json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read artifact: {exc}", file=sys.stderr)
+            return 2
+        if report.get("schema") != 1:
+            print(
+                f"error: unsupported report schema {report.get('schema')!r}"
+                " (expected 1)",
+                file=sys.stderr,
+            )
+            return 2
+        if "calibrated_ops_per_sec" not in report.get("summary", {}):
+            print(
+                "error: artifact has no summary.calibrated_ops_per_sec",
+                file=sys.stderr,
+            )
+            return 2
+        recorded_with = (
+            f"artifact {args.from_artifact} (seed {report.get('seed')},"
+            f" fast={report.get('fast')}, workers {report.get('workers')},"
+            " schema 1)"
+        )
+    else:
+        report = run_perf(fast=True, workers=args.workers)
+        for line in render_report(report):
+            print(line)
+        recorded_with = (
+            f"repro perf --fast --workers {args.workers} (seed 0, schema 1)"
+        )
     if not report["summary"]["all_verified"]:
         print("refusing to write baseline: verification failed", file=sys.stderr)
         return 1
@@ -54,9 +97,7 @@ def main(argv=None) -> int:
             "perf-baseline-refresh workflow_dispatch job "
             "(scripts/refresh_perf_baseline.py)."
         ),
-        "recorded_with": (
-            f"repro perf --fast --workers {args.workers} (seed 0, schema 1)"
-        ),
+        "recorded_with": recorded_with,
         "min_speedup_floor": args.speedup_floor,
         "calibrated_ops_per_sec": {
             name: round(rate)

@@ -8,6 +8,7 @@ Rules encode paper-level invariants (see ``docs/static-analysis.md``):
 * REF001 — ``chunk_ref`` needs a release path in its component
 * FLT001 — substrate I/O must sit inside a fault scope
 * API001 — no imports bypassing the ``RadosCluster`` facade
+* OBS001 — started spans must be closed on all paths
 """
 
 from typing import Dict, List
@@ -16,6 +17,7 @@ from ..engine import Rule
 from .determinism import SetOrderRule, UnseededRandomRule, WallClockRule
 from .faults import FaultScopeRule
 from .layering import LayeringRule
+from .observability import SpanLifecycleRule
 from .references import RefPairingRule
 
 __all__ = [
@@ -25,6 +27,7 @@ __all__ = [
     "RefPairingRule",
     "FaultScopeRule",
     "LayeringRule",
+    "SpanLifecycleRule",
     "default_rules",
     "rules_by_id",
 ]
@@ -39,6 +42,7 @@ def default_rules() -> List[Rule]:
         RefPairingRule(),
         FaultScopeRule(),
         LayeringRule(),
+        SpanLifecycleRule(),
     ]
 
 

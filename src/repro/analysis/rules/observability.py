@@ -1,0 +1,135 @@
+"""Span lifecycle rule (OBS001).
+
+The tracing layer (``repro.obs``) buffers spans until ``finish()``
+stamps their end time; a span left open never appears with a duration,
+breaks the obs-smoke integrity gate ("span was never finished"), and —
+worse — silently punches a hole in the ≥95 % coverage requirement for
+its root op.  Exceptions make this easy to get wrong: a span started
+before a ``yield from`` into the cluster is leaked whenever a fault
+propagates out.  This rule requires every span-starting call
+(``child`` / ``root_span`` / ``start_span``) to be closed on all paths:
+used directly as a ``with`` context manager, returned to a caller who
+owns it, or assigned to a name that is later entered with ``with`` or
+finished inside a ``try/finally``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from ..engine import Finding, ScopedRule, SourceModule
+
+__all__ = ["SpanLifecycleRule"]
+
+#: Method names that start (and therefore leak, if unclosed) a span.
+_STARTERS = ("child", "root_span", "start_span")
+
+
+def _starter_call(node: ast.AST) -> Optional[str]:
+    """The starter method name if ``node`` is a span-starting call."""
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in _STARTERS
+    ):
+        return node.func.attr
+    return None
+
+
+def _finishes_name(tree: ast.AST, name: str) -> bool:
+    """Whether ``tree`` contains ``<name>.finish()``."""
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "finish"
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == name
+        ):
+            return True
+    return False
+
+
+def _entered_later(scope: ast.AST, name: str, after_line: int) -> bool:
+    """Whether ``with <name>`` (possibly ``with <name> as ...``) appears
+    in ``scope`` at or after ``after_line``."""
+    for node in ast.walk(scope):
+        if not isinstance(node, (ast.With, ast.AsyncWith)):
+            continue
+        if node.lineno < after_line:
+            continue
+        for item in node.items:
+            expr = item.context_expr
+            if isinstance(expr, ast.Name) and expr.id == name:
+                return True
+    return False
+
+
+class SpanLifecycleRule(ScopedRule):
+    """OBS001: spans must be closed on all paths."""
+
+    id = "OBS001"
+    title = "span started without a with-block or try/finally finish"
+    scope = ("repro",)
+
+    def check(self, mod: SourceModule) -> Iterable[Finding]:
+        for node in ast.walk(mod.tree):
+            starter = _starter_call(node)
+            if starter is None:
+                continue
+            if self._guarded(mod, node):
+                continue
+            yield mod.finding(
+                self,
+                node,
+                f"span from .{starter}(...) is not closed on all paths:"
+                f" use 'with' on it, return it, or finish() it in a"
+                f" try/finally",
+            )
+
+    def _guarded(self, mod: SourceModule, call: ast.Call) -> bool:
+        parent = mod.parent(call)
+        # with span.child(...) as s:  — the with closes it on every path.
+        if isinstance(parent, ast.withitem) and parent.context_expr is call:
+            return True
+        # return tracer.start_span(...) — ownership moves to the caller
+        # (factories like Tracer.root_span itself, or DedupTier.tracer
+        # accessors); the caller's use site is what this rule checks.
+        if isinstance(parent, ast.Return):
+            return True
+        # s = span.child(...) followed by either `with s:` or a
+        # try/finally that calls s.finish().
+        if (
+            isinstance(parent, ast.Assign)
+            and len(parent.targets) == 1
+            and isinstance(parent.targets[0], ast.Name)
+        ):
+            name = parent.targets[0].id
+            scope = self._enclosing_function(mod, parent)
+            if scope is None:
+                return False
+            if _entered_later(scope, name, parent.lineno):
+                return True
+            # A try whose finally finishes the name guards the span
+            # whether the assignment sits inside its body or just
+            # before it (assign; try: ... finally: s.finish()).
+            for node in ast.walk(scope):
+                if (
+                    isinstance(node, ast.Try)
+                    and node.end_lineno is not None
+                    and node.end_lineno >= parent.lineno
+                    and any(
+                        _finishes_name(stmt, name) for stmt in node.finalbody
+                    )
+                ):
+                    return True
+            return False
+        return False
+
+    @staticmethod
+    def _enclosing_function(mod: SourceModule, node: ast.AST) -> Optional[ast.AST]:
+        for ancestor in mod.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return ancestor
+        return None

@@ -8,6 +8,8 @@ Usage::
     python -m repro scrub           # demo cluster + integrity scrub
     python -m repro faults          # seeded fault-injection run + verdict
     python -m repro perf --fast     # hot-path wall-clock benchmark
+    python -m repro obs trace       # traced workload -> span JSONL + checks
+    python -m repro obs report      # per-stage span rollup + coverage
     python -m repro lint            # AST invariant checks on the source tree
 
 Full experiments live in ``benchmarks/`` (run with
@@ -145,7 +147,10 @@ def _cmd_perf(args) -> int:
     from .perf import harness
 
     report = harness.run_perf(
-        fast=True if args.fast else None, seed=args.seed, workers=args.workers
+        fast=True if args.fast else None,
+        seed=args.seed,
+        workers=args.workers,
+        trace=args.trace,
     )
     for line in harness.render_report(report):
         print(line)
@@ -171,6 +176,17 @@ def _cmd_perf(args) -> int:
             return 1
         print(f"baseline gate passed ({args.baseline})")
     return 0
+
+
+def _cmd_obs(args) -> int:
+    from .obs import cli as obs_cli
+
+    handler = {
+        "trace": obs_cli.cmd_trace,
+        "report": obs_cli.cmd_report,
+        "top-spans": obs_cli.cmd_top_spans,
+    }[args.obs_command]
+    return handler(args)
 
 
 def _cmd_lint(args) -> int:
@@ -291,6 +307,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "(default: os.cpu_count(); 1 = serial inline hashing)",
     )
     perf.add_argument(
+        "--trace",
+        action="store_true",
+        help="run the simulated workloads with op tracing enabled and "
+        "attach per-stage span rollups to the report",
+    )
+    perf.add_argument(
         "--out",
         default=None,
         metavar="PATH",
@@ -308,6 +330,64 @@ def main(argv: Optional[List[str]] = None) -> int:
         type=float,
         default=0.25,
         help="allowed calibrated ops/s regression vs baseline (default 0.25)",
+    )
+    obs = sub.add_parser(
+        "obs",
+        help="observability: trace a seeded workload, rollups, top spans",
+    )
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_trace = obs_sub.add_parser(
+        "trace",
+        help="run a traced seeded workload, emit span JSONL, verify integrity",
+    )
+    obs_trace.add_argument(
+        "--objects", type=int, default=24, help="objects to write (default 24)"
+    )
+    obs_trace.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the trace JSONL here (default: stdout)",
+    )
+    obs_trace.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="also write a Prometheus-text metrics snapshot here",
+    )
+    obs_trace.add_argument(
+        "--coverage",
+        type=float,
+        default=0.95,
+        help="required fraction of each root op covered by child spans "
+        "(default 0.95)",
+    )
+    obs_report = obs_sub.add_parser(
+        "report", help="per-stage span rollup + root coverage"
+    )
+    obs_top = obs_sub.add_parser("top-spans", help="slowest individual spans")
+    for p in (obs_report, obs_top):
+        p.add_argument(
+            "--trace",
+            default=None,
+            metavar="PATH",
+            help="analyse this JSONL trace dump instead of running the "
+            "seeded workload",
+        )
+        p.add_argument(
+            "--objects",
+            type=int,
+            default=24,
+            help="objects to write when running the workload (default 24)",
+        )
+    obs_top.add_argument(
+        "--limit", "-n", type=int, default=10, help="spans to show (default 10)"
+    )
+    obs_top.add_argument(
+        "--stage",
+        default=None,
+        metavar="PREFIX",
+        help="only consider stages with this prefix (e.g. rados.)",
     )
     lint = sub.add_parser(
         "lint",
@@ -356,6 +436,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "scrub": _cmd_scrub,
         "faults": _cmd_faults,
         "perf": _cmd_perf,
+        "obs": _cmd_obs,
         "lint": _cmd_lint,
     }[args.command]
     return handler(args)

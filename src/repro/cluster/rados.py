@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Set
 
+from ..obs import NULL_SPAN
 from ..sim import Resource, Simulator
 from .clustermap import ClusterMap
 from .crush import CrushMap
@@ -205,7 +206,14 @@ class RadosCluster:
 
     # -- replicated data path -----------------------------------------------------
 
-    def submit(self, pool: Pool, oid: str, txn: Transaction, client: Optional[Client] = None):
+    def submit(
+        self,
+        pool: Pool,
+        oid: str,
+        txn: Transaction,
+        client: Optional[Client] = None,
+        span=NULL_SPAN,
+    ):
         """Process: apply ``txn`` atomically on every replica of ``oid``.
 
         This is the self-contained-object workhorse: chunk-map updates,
@@ -228,46 +236,52 @@ class RadosCluster:
         shards) — the cost that makes EC random writes so slow in the
         paper's Figure 12.
         """
-        if pool.is_ec:
-            yield from self._ec_submit(pool, oid, txn, client)
-            return
-        client = client or self._default_client
-        acting = self._acting_osds(pool, oid)
-        up = self._up_subset(acting)
-        if len(up) < pool.redundancy.min_size:
-            raise NotEnoughReplicas(
-                f"{len(up)}/{len(acting)} replicas up; need {pool.redundancy.min_size}"
-            )
-        primary = up[0]
-        payload = txn.io_bytes
-        yield from self._transfer(client.nic, primary.node.nic, payload)
-        lock = self._write_lock(self.object_key(pool, oid))
-        yield lock.acquire()
-        try:
-            jobs = []
-            for osd in up:
-                jobs.append(
-                    self.sim.process(self._replica_prepare(primary, osd, txn, payload))
-                )
-            yield self.sim.all_of(jobs)
-            # Commit point: all replicas prepared, none mutated yet.
-            # Applying is instantaneous, so no fault can interleave and
-            # split the copies.  An OSD that crashed after its prepare
-            # completed is skipped (it will rejoin stale and be
-            # reconciled by recovery), but losing quorum aborts.
-            survivors = [osd for osd in up if osd.up]
-            if len(survivors) < pool.redundancy.min_size:
+        with span.child(
+            "rados.submit", pool=pool.name, pg=pool.pg_of(oid), ops=len(txn)
+        ) as s:
+            if pool.is_ec:
+                yield from self._ec_submit(pool, oid, txn, client)
+                return
+            client = client or self._default_client
+            acting = self._acting_osds(pool, oid)
+            up = self._up_subset(acting)
+            if len(up) < pool.redundancy.min_size:
                 raise NotEnoughReplicas(
-                    f"{len(survivors)}/{len(acting)} replicas survived prepare; "
-                    f"need {pool.redundancy.min_size}"
+                    f"{len(up)}/{len(acting)} replicas up; need {pool.redundancy.min_size}"
                 )
-            for osd in survivors:
-                osd.commit_transaction(txn)
-        finally:
-            lock.release()
-        yield from self._rpc_latency()  # ack to client
+            primary = up[0]
+            payload = txn.io_bytes
+            s.tag(osd=primary.osd_id, replicas=len(up), nbytes=payload)
+            yield from self._transfer(client.nic, primary.node.nic, payload)
+            lock = self._write_lock(self.object_key(pool, oid))
+            yield lock.acquire()
+            try:
+                jobs = []
+                for osd in up:
+                    jobs.append(
+                        self.sim.process(self._replica_prepare(primary, osd, txn, payload))
+                    )
+                yield self.sim.all_of(jobs)
+                # Commit point: all replicas prepared, none mutated yet.
+                # Applying is instantaneous, so no fault can interleave and
+                # split the copies.  An OSD that crashed after its prepare
+                # completed is skipped (it will rejoin stale and be
+                # reconciled by recovery), but losing quorum aborts.
+                survivors = [osd for osd in up if osd.up]
+                if len(survivors) < pool.redundancy.min_size:
+                    raise NotEnoughReplicas(
+                        f"{len(survivors)}/{len(acting)} replicas survived prepare; "
+                        f"need {pool.redundancy.min_size}"
+                    )
+                for osd in survivors:
+                    osd.commit_transaction(txn)
+            finally:
+                lock.release()
+            yield from self._rpc_latency()  # ack to client
 
-    def submit_batch(self, pool: Pool, items, client: Optional[Client] = None):
+    def submit_batch(
+        self, pool: Pool, items, client: Optional[Client] = None, span=NULL_SPAN
+    ):
         """Process: apply many ``(oid, txn)`` pairs with one prepared
         round per placement group.
 
@@ -294,77 +308,81 @@ class RadosCluster:
         if not items:
             return
         if len(items) == 1:
-            yield from self.submit(pool, items[0][0], items[0][1], client)
+            yield from self.submit(pool, items[0][0], items[0][1], client, span=span)
             return
-        if pool.is_ec:
+        with span.child(
+            "rados.submit_batch", pool=pool.name, items=len(items)
+        ) as s:
+            if pool.is_ec:
+                for oid, txn in items:
+                    yield from self._ec_submit(pool, oid, txn, client)
+                return
+            client = client or self._default_client
+            groups: Dict[int, List[Transaction]] = {}
+            group_oids: Dict[int, str] = {}
             for oid, txn in items:
-                yield from self._ec_submit(pool, oid, txn, client)
-            return
-        client = client or self._default_client
-        groups: Dict[int, List[Transaction]] = {}
-        group_oids: Dict[int, str] = {}
-        for oid, txn in items:
-            pg = pool.pg_of(oid)
-            groups.setdefault(pg, []).append(txn)
-            group_oids.setdefault(pg, oid)
-        plans = []  # (merged txn, acting count, up OSDs)
-        for pg in sorted(groups):
-            acting = self._acting_osds(pool, group_oids[pg])
-            up = self._up_subset(acting)
-            if len(up) < pool.redundancy.min_size:
-                raise NotEnoughReplicas(
-                    f"{len(up)}/{len(acting)} replicas up for pg {pg}; "
-                    f"need {pool.redundancy.min_size}"
-                )
-            merged = Transaction()
-            for txn in groups[pg]:
-                merged.ops.extend(txn.ops)
-            plans.append((merged, len(acting), up))
-        # One payload transfer per PG primary, in parallel.
-        xfers = [
-            self.sim.process(
-                self._transfer(client.nic, up[0].node.nic, merged.io_bytes)
-            )
-            for merged, _n, up in plans
-        ]
-        yield self.sim.all_of(xfers)
-        # Per-object write locks, in deterministic order (a concurrent
-        # submit holds at most one, so sorted acquisition cannot cycle).
-        locks = [
-            self._write_lock(key)
-            for key in sorted({self.object_key(pool, oid) for oid, _ in items})
-        ]
-        for lock in locks:
-            yield lock.acquire()
-        try:
-            jobs = []
-            for merged, _n, up in plans:
-                primary = up[0]
-                for osd in up:
-                    jobs.append(
-                        self.sim.process(
-                            self._replica_prepare(primary, osd, merged, merged.io_bytes)
-                        )
-                    )
-            yield self.sim.all_of(jobs)
-            # Commit point for the whole batch: every group must still
-            # have quorum before *any* group applies, so a lost PG
-            # aborts the batch with nothing mutated.
-            for merged, acting_count, up in plans:
-                survivors = [osd for osd in up if osd.up]
-                if len(survivors) < pool.redundancy.min_size:
+                pg = pool.pg_of(oid)
+                groups.setdefault(pg, []).append(txn)
+                group_oids.setdefault(pg, oid)
+            s.tag(pgs=len(groups))
+            plans = []  # (merged txn, acting count, up OSDs)
+            for pg in sorted(groups):
+                acting = self._acting_osds(pool, group_oids[pg])
+                up = self._up_subset(acting)
+                if len(up) < pool.redundancy.min_size:
                     raise NotEnoughReplicas(
-                        f"{len(survivors)}/{acting_count} replicas survived "
-                        f"prepare; need {pool.redundancy.min_size}"
+                        f"{len(up)}/{len(acting)} replicas up for pg {pg}; "
+                        f"need {pool.redundancy.min_size}"
                     )
-            for merged, _n, up in plans:
-                for osd in up:
-                    if osd.up:
-                        osd.commit_transaction(merged)
-        finally:
-            for lock in reversed(locks):
-                lock.release()
-        yield from self._rpc_latency()  # ack to client
+                merged = Transaction()
+                for txn in groups[pg]:
+                    merged.ops.extend(txn.ops)
+                plans.append((merged, len(acting), up))
+            # One payload transfer per PG primary, in parallel.
+            xfers = [
+                self.sim.process(
+                    self._transfer(client.nic, up[0].node.nic, merged.io_bytes)
+                )
+                for merged, _n, up in plans
+            ]
+            yield self.sim.all_of(xfers)
+            # Per-object write locks, in deterministic order (a concurrent
+            # submit holds at most one, so sorted acquisition cannot cycle).
+            locks = [
+                self._write_lock(key)
+                for key in sorted({self.object_key(pool, oid) for oid, _ in items})
+            ]
+            for lock in locks:
+                yield lock.acquire()
+            try:
+                jobs = []
+                for merged, _n, up in plans:
+                    primary = up[0]
+                    for osd in up:
+                        jobs.append(
+                            self.sim.process(
+                                self._replica_prepare(primary, osd, merged, merged.io_bytes)
+                            )
+                        )
+                yield self.sim.all_of(jobs)
+                # Commit point for the whole batch: every group must still
+                # have quorum before *any* group applies, so a lost PG
+                # aborts the batch with nothing mutated.
+                for merged, acting_count, up in plans:
+                    survivors = [osd for osd in up if osd.up]
+                    if len(survivors) < pool.redundancy.min_size:
+                        raise NotEnoughReplicas(
+                            f"{len(survivors)}/{acting_count} replicas survived "
+                            f"prepare; need {pool.redundancy.min_size}"
+                        )
+                for merged, _n, up in plans:
+                    for osd in up:
+                        if osd.up:
+                            osd.commit_transaction(merged)
+            finally:
+                for lock in reversed(locks):
+                    lock.release()
+            yield from self._rpc_latency()  # ack to client
 
     def _replica_prepare(self, primary: OSD, replica: OSD, txn: Transaction, payload: int):
         if replica.node is not primary.node:
@@ -373,14 +391,21 @@ class RadosCluster:
         if replica is not primary:
             yield from self._rpc_latency()  # replica ack to primary
 
-    def write_full(self, pool: Pool, oid: str, data: bytes, client: Optional[Client] = None):
+    def write_full(
+        self,
+        pool: Pool,
+        oid: str,
+        data: bytes,
+        client: Optional[Client] = None,
+        span=NULL_SPAN,
+    ):
         """Process: replace the whole object payload."""
         if pool.is_ec:
             yield from self._ec_write_full(pool, oid, data, client)
             return
         key = self.object_key(pool, oid)
         txn = Transaction().write_full(key, data)
-        yield from self.submit(pool, oid, txn, client)
+        yield from self.submit(pool, oid, txn, client, span=span)
 
     def write(self, pool: Pool, oid: str, offset: int, data: bytes, client: Optional[Client] = None):
         """Process: write ``data`` at ``offset`` (partial overwrite).
@@ -419,19 +444,24 @@ class RadosCluster:
         offset: int = 0,
         length: Optional[int] = None,
         client: Optional[Client] = None,
+        span=NULL_SPAN,
     ):
         """Process: read ``length`` bytes at ``offset``; returns bytes."""
-        if pool.is_ec:
-            data = yield from self._ec_read(pool, oid, client)
-            if length is None:
-                return data[offset:]
-            return data[offset : offset + length]
-        client = client or self._default_client
-        key = self.object_key(pool, oid)
-        yield from self._rpc_latency()  # request
-        primary, data = yield from self._read_with_failover(pool, oid, key, offset, length)
-        yield from self._transfer(primary.node.nic, client.nic, len(data))
-        return data
+        with span.child("rados.read", pool=pool.name, pg=pool.pg_of(oid)) as s:
+            if pool.is_ec:
+                data = yield from self._ec_read(pool, oid, client)
+                if length is None:
+                    return data[offset:]
+                return data[offset : offset + length]
+            client = client or self._default_client
+            key = self.object_key(pool, oid)
+            yield from self._rpc_latency()  # request
+            primary, data = yield from self._read_with_failover(
+                pool, oid, key, offset, length
+            )
+            s.tag(osd=primary.osd_id, nbytes=len(data))
+            yield from self._transfer(primary.node.nic, client.nic, len(data))
+            return data
 
     def _read_with_failover(self, pool: Pool, oid: str, key: ObjectKey, offset, length):
         """Process: read at the primary, failing over to the next up

@@ -78,6 +78,15 @@ class DedupedStorage:
         """The simulation clock everything runs on."""
         return self.cluster.sim
 
+    @property
+    def tracer(self):
+        """The tier's :class:`~repro.obs.Tracer` (per-op span trees).
+
+        Enabled via ``DedupConfig.trace_ops``; when off it hands out the
+        shared null span and records nothing.
+        """
+        return self.tier.tracer
+
     def inject_faults(self, plan, auto_recover: bool = True):
         """Attach a :class:`~repro.faults.FaultInjector` for ``plan``.
 

@@ -135,6 +135,15 @@ class DedupConfig:
     #: retried from the dirty list (skip-and-requeue degradation).
     fault_requeue_delay: float = 0.2
 
+    #: Record per-op span trees (``repro.obs``): every write/read/delete
+    #: and dedup pass produces a tree of timed stage spans on the
+    #: simulation clock.  Off by default — the disabled tracer hands out
+    #: a shared null span, so the hot path pays only no-op method calls.
+    trace_ops: bool = False
+    #: Cap on buffered spans per tracer; further spans are counted as
+    #: dropped instead of growing memory without bound.
+    trace_max_spans: int = 250_000
+
     def __post_init__(self):
         if self.chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size}")
@@ -187,4 +196,8 @@ class DedupConfig:
         if self.chunk_bloom_capacity < 0:
             raise ValueError(
                 f"chunk_bloom_capacity must be >= 0, got {self.chunk_bloom_capacity}"
+            )
+        if self.trace_max_spans < 0:
+            raise ValueError(
+                f"trace_max_spans must be >= 0, got {self.trace_max_spans}"
             )

@@ -33,6 +33,7 @@ from typing import Optional
 from ..cluster import Transaction
 from ..faults.errors import is_retryable
 from ..fingerprint import FingerprintPool
+from ..obs import NULL_SPAN
 from .objects import CHUNK_MAP_XATTR, ChunkRef
 from .refcount import make_refcounter
 from .tier import ChunkBatch, DedupTier, NodeClient
@@ -159,6 +160,12 @@ class DedupEngine:
         foreground.  Returns one of ``"done"``, ``"skipped_hot"``,
         ``"raced"``, ``"missing"``.
         """
+        with self.tier.tracer.root_span("op.dedup_pass", oid=oid, forced=force) as op:
+            result = yield from self._process_object_traced(oid, force, op)
+            op.tag(result=result)
+            return result
+
+    def _process_object_traced(self, oid: str, force: bool, op):
         tier = self.tier
         if not force and self.config.selective_dedup and tier.cache.is_hot(oid):
             self.stats.objects_skipped_hot += 1
@@ -170,22 +177,25 @@ class DedupEngine:
             # need the same lock (§4.4.2 — dedup yields to foreground).
             cmap_peek = tier.peek_chunk_map(oid)
             pending = len(cmap_peek.dirty_indices()) if cmap_peek else 0
-            for _ in range(max(1, pending)):
-                yield from tier.rate.throttle()
+            with op.child("engine.rate_throttle", pending=pending):
+                for _ in range(max(1, pending)):
+                    yield from tier.rate.throttle()
         lock = tier.object_lock(oid)
-        yield lock.acquire()
+        with op.child("tier.lock_wait", oid=oid):
+            yield lock.acquire()
         try:
-            result = yield from self._process_object_locked(oid, force)
+            result = yield from self._process_object_locked(oid, force, op)
         finally:
             lock.release()
         # Outside the lock: a capacity victim may be this same object.
-        yield from self.enforce_cache_capacity()
+        with op.child("engine.cache_enforce"):
+            yield from self.enforce_cache_capacity()
         return result
 
-    def _process_object_locked(self, oid: str, force: bool):
+    def _process_object_locked(self, oid: str, force: bool, span=NULL_SPAN):
         tier = self.tier
         seq_at_start = tier.seq(oid)
-        cmap = yield from tier.load_chunk_map(oid)
+        cmap = yield from tier.load_chunk_map(oid, span=span)
         if cmap is None:
             return "missing"
         primary = tier.cluster._primary(tier.metadata_pool, oid)
@@ -210,41 +220,50 @@ class DedupEngine:
         staged = []  # (chunk index, entry, data) awaiting fingerprints
         handles = []  # aligned FingerprintHandles once stage 1 completes
         try:
-            for idx in cmap.dirty_indices():
-                entry = cmap.get(idx)
-                if not entry.cached:
-                    # Dirty implies cached by construction; tolerate anyway.
-                    entry.dirty = False
-                    changed = True
-                    continue
-                if entry.fully_cached():
-                    data = yield from tier.read_local_chunk(
-                        oid, entry.offset, entry.length
-                    )
-                else:
-                    # Deferred read-modify-write: merge the cached pieces
-                    # with the old chunk object's bytes.  This is the
-                    # "reading data for flush" background cost the paper
-                    # lists for the Proposed system — paid here, not on the
-                    # foreground write path.
-                    buf = bytearray(entry.length)
-                    for seg_start, seg_end in entry.valid:
-                        part = yield from tier.read_local_chunk(
-                            oid, entry.offset + seg_start, seg_end - seg_start
+            with span.child("engine.chunk_assemble") as s_asm:
+                for idx in cmap.dirty_indices():
+                    entry = cmap.get(idx)
+                    if not entry.cached:
+                        # Dirty implies cached by construction; tolerate anyway.
+                        entry.dirty = False
+                        changed = True
+                        continue
+                    if entry.fully_cached():
+                        data = yield from tier.read_local_chunk(
+                            oid, entry.offset, entry.length
                         )
-                        buf[seg_start : seg_start + len(part)] = part
-                    if entry.chunk_id:
-                        for seg_start, seg_end in entry.missing_ranges():
-                            part = yield from tier.read_chunk(
-                                entry.chunk_id, seg_start, seg_end - seg_start, via
+                    else:
+                        # Deferred read-modify-write: merge the cached pieces
+                        # with the old chunk object's bytes.  This is the
+                        # "reading data for flush" background cost the paper
+                        # lists for the Proposed system — paid here, not on the
+                        # foreground write path.
+                        buf = bytearray(entry.length)
+                        for seg_start, seg_end in entry.valid:
+                            part = yield from tier.read_local_chunk(
+                                oid, entry.offset + seg_start, seg_end - seg_start
                             )
                             buf[seg_start : seg_start + len(part)] = part
-                    data = bytes(buf)
-                tier.stage.chunking_ops += 1
-                tier.stage.chunking_bytes += len(data)
-                yield from primary.node.cpu.fingerprint(len(data))
-                staged.append((idx, entry, data))
-            handles = pool.submit_many(data for _idx, _entry, data in staged)
+                        if entry.chunk_id:
+                            for seg_start, seg_end in entry.missing_ranges():
+                                part = yield from tier.read_chunk(
+                                    entry.chunk_id,
+                                    seg_start,
+                                    seg_end - seg_start,
+                                    via,
+                                    span=s_asm,
+                                )
+                                buf[seg_start : seg_start + len(part)] = part
+                        data = bytes(buf)
+                    tier.stage.chunking_ops += 1
+                    tier.stage.chunking_bytes += len(data)
+                    yield from primary.node.cpu.fingerprint(len(data))
+                    staged.append((idx, entry, data))
+                s_asm.tag(chunks=len(staged))
+            with span.child("engine.fingerprint", chunks=len(staged)) as s_fp:
+                handles = pool.submit_many(
+                    (data for _idx, _entry, data in staged), span=s_fp
+                )
             for (idx, entry, data), handle in zip(staged, handles):
                 fp = handle.result()
                 tier.stage.fingerprint_seconds += handle.seconds
@@ -263,7 +282,9 @@ class DedupEngine:
                         planned.append((len(batch.ops), fp, ref, len(data)))
                         batch.ref(fp, ref, data)
                     else:
-                        stored = yield from tier.chunk_ref(fp, ref, data, via)
+                        stored = yield from tier.chunk_ref(
+                            fp, ref, data, via, span=span
+                        )
                         taken.append((fp, ref))
                         if stored:
                             self.stats.chunks_flushed += 1
@@ -296,7 +317,7 @@ class DedupEngine:
                     self.stats.objects_aborted_race += 1
                     tier.mark_dirty(oid)
                     return "raced"
-                outcomes = yield from tier.commit_chunk_batch(batch, via)
+                outcomes = yield from tier.commit_chunk_batch(batch, via, span=span)
                 for op_i, fp, ref, nbytes in planned:
                     taken.append((fp, ref))
                     if outcomes[op_i]:
@@ -309,13 +330,15 @@ class DedupEngine:
                 # A foreground write landed mid-pass: our map view is stale.
                 # Undo the references we took and retry later; dirty bits in
                 # the (authoritative) stored map still cover the new data.
-                yield from self._undo_refs(taken, via)
+                yield from self._undo_refs(taken, via, span=span)
                 self.stats.objects_aborted_race += 1
                 tier.mark_dirty(oid)
                 return "raced"
             if changed:
                 txn.setxattr(key, CHUNK_MAP_XATTR, cmap.serialize())
-                yield from tier.cluster.submit(tier.metadata_pool, oid, txn, via)
+                yield from tier.cluster.submit(
+                    tier.metadata_pool, oid, txn, via, span=span
+                )
         except Exception as exc:
             # Skip-and-requeue degradation: a fault mid-pass (after the
             # I/O path's retries gave up) abandons the pass *before* the
@@ -327,14 +350,14 @@ class DedupEngine:
             self._abandon_staged(handles)
             if not is_retryable(exc):
                 raise
-            yield from self._undo_refs(taken, via)
+            yield from self._undo_refs(taken, via, span=span)
             self.stats.objects_requeued_fault += 1
             tier.requeue_dirty(oid, delay=self.config.fault_requeue_delay)
             return "faulted"
         finally:
             self._sync_pool_stats()
         if pending_derefs:
-            yield from self._apply_derefs(pending_derefs, via)
+            yield from self._apply_derefs(pending_derefs, via, span=span)
         self.stats.objects_processed += 1
         return "done"
 
@@ -363,7 +386,7 @@ class DedupEngine:
         stage.fingerprint_pool_busy_seconds = pool.stats.busy_seconds
         stage.fingerprint_pool_wall_seconds = pool.stats.wall_seconds
 
-    def _apply_derefs(self, pairs, via):
+    def _apply_derefs(self, pairs, via, span=NULL_SPAN):
         """Process: release old-chunk references after the map commits.
 
         Under strict refcounting with batching enabled, the whole set is
@@ -373,31 +396,36 @@ class DedupEngine:
         individually (``false_positive`` just queues them in memory).
         """
         tier = self.tier
-        if tier.batching_enabled and len(pairs) > 1 and self.refcount.name == "strict":
-            batch = ChunkBatch()
+        with span.child("engine.derefs", count=len(pairs)) as s:
+            if (
+                tier.batching_enabled
+                and len(pairs) > 1
+                and self.refcount.name == "strict"
+            ):
+                batch = ChunkBatch()
+                for chunk_id, ref in pairs:
+                    batch.deref(chunk_id, ref)
+                try:
+                    yield from tier.commit_chunk_batch(batch, via, span=s)
+                except Exception as exc:
+                    if not is_retryable(exc):
+                        raise
+                    # Batch prepare is all-or-nothing: nothing was dropped,
+                    # every reference stays over-retained for the GC.
+                    self.stats.derefs_deferred_fault += len(pairs)
+                return
             for chunk_id, ref in pairs:
-                batch.deref(chunk_id, ref)
-            try:
-                yield from tier.commit_chunk_batch(batch, via)
-            except Exception as exc:
-                if not is_retryable(exc):
-                    raise
-                # Batch prepare is all-or-nothing: nothing was dropped,
-                # every reference stays over-retained for the GC.
-                self.stats.derefs_deferred_fault += len(pairs)
-            return
-        for chunk_id, ref in pairs:
-            try:
-                yield from self.refcount.deref(chunk_id, ref, via)
-            except Exception as exc:
-                if not is_retryable(exc):
-                    raise
-                # The map already committed, so the old reference is
-                # merely over-retained — never dangling.  Offline GC
-                # reclaims it.
-                self.stats.derefs_deferred_fault += 1
+                try:
+                    yield from self.refcount.deref(chunk_id, ref, via)
+                except Exception as exc:
+                    if not is_retryable(exc):
+                        raise
+                    # The map already committed, so the old reference is
+                    # merely over-retained — never dangling.  Offline GC
+                    # reclaims it.
+                    self.stats.derefs_deferred_fault += 1
 
-    def _undo_refs(self, taken, via):
+    def _undo_refs(self, taken, via, span=NULL_SPAN):
         """Process: best-effort release of references taken this pass.
 
         A dereference that itself faults leaves an *over*-retained
@@ -406,7 +434,7 @@ class DedupEngine:
         """
         for fp, ref in taken:
             try:
-                yield from self.tier.chunk_deref(fp, ref, via)
+                yield from self.tier.chunk_deref(fp, ref, via, span=span)
             except Exception as exc:
                 if not is_retryable(exc):
                     raise

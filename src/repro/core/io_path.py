@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from ..cluster import NoSuchObject, Transaction
+from ..obs import NULL_SPAN
 from .objects import CHUNK_MAP_XATTR, ChunkMap, ChunkMapEntry
 from .tier import DedupTier
 
@@ -52,7 +53,7 @@ def _split_by_valid(start: int, end: int, valid):
         yield (pos, end, False)
 
 
-def _read_cached_piece(tier, oid, offset, length, client):
+def _read_cached_piece(tier, oid, offset, length, client, span=NULL_SPAN):
     """Process: read cached bytes at the metadata primary and return
     them to the client (original-system read cost).
 
@@ -64,37 +65,41 @@ def _read_cached_piece(tier, oid, offset, length, client):
     cluster = tier.cluster
     client = client or cluster._default_client
 
-    def attempt():
-        if tier.metadata_pool.is_ec:
-            data = yield from cluster.read(
-                tier.metadata_pool, oid, offset, length, client
-            )
+    with span.child("tier.read_cached", oid=oid, nbytes=length) as s:
+
+        def attempt():
+            if tier.metadata_pool.is_ec:
+                data = yield from cluster.read(
+                    tier.metadata_pool, oid, offset, length, client, span=s
+                )
+                return data
+            primary = cluster._primary(tier.metadata_pool, oid)
+            key = tier.metadata_key(oid)
+            data = yield from primary.execute_read(key, offset, length)
+            yield from cluster._transfer(primary.node.nic, client.nic, len(data))
             return data
-        primary = cluster._primary(tier.metadata_pool, oid)
-        key = tier.metadata_key(oid)
-        data = yield from primary.execute_read(key, offset, length)
-        yield from cluster._transfer(primary.node.nic, client.nic, len(data))
+
+        data = yield from tier.retrying(attempt, op="read_cached", span=s)
         return data
 
-    data = yield from tier.retrying(attempt, op="read_cached")
-    return data
 
-
-def _read_chunk_piece(tier, chunk_id, offset, length, client):
+def _read_chunk_piece(tier, chunk_id, offset, length, client, span=NULL_SPAN):
     """Process: redirected read — metadata pool forwards to the chunk
     pool; chunk primary reads (and decompresses, when the tier stores
     chunks compressed) and returns the data to the client."""
     cluster = tier.cluster
     client = client or cluster._default_client
 
-    def attempt():
-        # Forwarding hop: metadata primary -> chunk primary.
-        yield tier.sim.timeout(cluster.profile.nic.latency)
-        data = yield from tier.read_chunk(chunk_id, offset, length, client)
-        return data
+    with span.child("tier.redirect", chunk=chunk_id, nbytes=length) as s:
 
-    data = yield from tier.retrying(attempt, op="read_chunk")
-    return data
+        def attempt():
+            # Forwarding hop: metadata primary -> chunk primary.
+            yield tier.sim.timeout(cluster.profile.nic.latency)
+            data = yield from tier.read_chunk(chunk_id, offset, length, client, span=s)
+            return data
+
+        data = yield from tier.retrying(attempt, op="read_chunk", span=s)
+        return data
 
 
 def write_path(tier: DedupTier, oid: str, offset: int, data: bytes, client=None):
@@ -117,22 +122,26 @@ def write_path(tier: DedupTier, oid: str, offset: int, data: bytes, client=None)
         raise ValueError(f"negative offset {offset}")
     if not data:
         return
-    # Mutations of one object are serialised (as RADOS serialises ops per
-    # object at its PG): the chunk-map read-modify-write below must not
-    # interleave with a dedup pass committing a new map.
-    lock = tier.object_lock(oid)
-    yield lock.acquire()
-    try:
-        yield from _write_locked(tier, oid, offset, data, client)
-    finally:
-        lock.release()
+    with tier.tracer.root_span("op.write", oid=oid, nbytes=len(data)) as op:
+        # Mutations of one object are serialised (as RADOS serialises ops
+        # per object at its PG): the chunk-map read-modify-write below must
+        # not interleave with a dedup pass committing a new map.
+        lock = tier.object_lock(oid)
+        with op.child("tier.lock_wait", oid=oid):
+            yield lock.acquire()
+        try:
+            yield from _write_locked(tier, oid, offset, data, client, op)
+        finally:
+            lock.release()
 
 
-def _write_locked(tier: DedupTier, oid: str, offset: int, data: bytes, client):
+def _write_locked(
+    tier: DedupTier, oid: str, offset: int, data: bytes, client, span=NULL_SPAN
+):
     cluster = tier.cluster
     pool = tier.metadata_pool
     cs = tier.config.chunk_size
-    cmap = yield from tier.load_chunk_map(oid)
+    cmap = yield from tier.load_chunk_map(oid, span=span)
     if cmap is None:
         cmap = ChunkMap(cs)
     key = tier.metadata_key(oid)
@@ -161,12 +170,14 @@ def _write_locked(tier: DedupTier, oid: str, offset: int, data: bytes, client):
                 # pre-read from the chunk object (the paper's pre-read
                 # corner case; common sub-chunk writes never hit it —
                 # the read-modify-write is deferred to the engine).
-                chunk_bytes = yield from tier.retrying(
-                    lambda cid=entry.chunk_id, ln=entry.length: tier.read_chunk(
-                        cid, 0, ln, client
-                    ),
-                    op="preread",
-                )
+                with span.child("tier.preread", chunk=entry.chunk_id) as s_pre:
+                    chunk_bytes = yield from tier.retrying(
+                        lambda cid=entry.chunk_id, ln=entry.length, sp=s_pre: (
+                            tier.read_chunk(cid, 0, ln, client, span=sp)
+                        ),
+                        op="preread",
+                        span=s_pre,
+                    )
                 chunk_bytes = chunk_bytes + b"\x00" * (
                     entry.length - len(chunk_bytes)
                 )
@@ -186,7 +197,9 @@ def _write_locked(tier: DedupTier, oid: str, offset: int, data: bytes, client):
     # Safe to retry: the transaction writes absolute offsets, so a
     # replay after a partial failure converges to the same state.
     yield from tier.retrying(
-        lambda: cluster.submit(pool, oid, txn, client), op="meta_write"
+        lambda: cluster.submit(pool, oid, txn, client, span=span),
+        op="meta_write",
+        span=span,
     )
     tier.bump_seq(oid)
     tier.mark_dirty(oid)
@@ -203,37 +216,42 @@ def delete_path(tier: DedupTier, oid: str, client=None):
     leaves only over-retained chunks (never dangling pointers), which
     the offline GC reclaims — the same §4.6 safety direction as flush.
     """
-    lock = tier.object_lock(oid)
-    yield lock.acquire()
-    try:
-        cmap = yield from tier.load_chunk_map(oid)
-        if cmap is None:
-            raise NoSuchObject(oid)
-        key = tier.metadata_key(oid)
-        cluster = tier.cluster
-        # Removing an already-removed object is a no-op, so the delete
-        # and each dereference below are idempotent under retry.
-        yield from tier.retrying(
-            lambda: cluster.submit(
-                tier.metadata_pool, oid, Transaction().remove(key), client
-            ),
-            op="meta_delete",
-        )
-        tier.bump_seq(oid)
-        via = client
-        for entry in cmap:
-            if entry.chunk_id:
-                yield from tier.retrying(
-                    lambda cid=entry.chunk_id, e=entry: tier.chunk_deref(
-                        cid, entry_ref(tier, oid, e), via
-                    ),
-                    op="chunk_deref",
-                )
-            idx = entry.offset // tier.config.chunk_size
-            tier.cache.note_evicted(oid, idx)
-        tier.fg_window.note(0)
-    finally:
-        lock.release()
+    with tier.tracer.root_span("op.delete", oid=oid) as op:
+        lock = tier.object_lock(oid)
+        with op.child("tier.lock_wait", oid=oid):
+            yield lock.acquire()
+        try:
+            cmap = yield from tier.load_chunk_map(oid, span=op)
+            if cmap is None:
+                raise NoSuchObject(oid)
+            key = tier.metadata_key(oid)
+            cluster = tier.cluster
+            # Removing an already-removed object is a no-op, so the delete
+            # and each dereference below are idempotent under retry.
+            yield from tier.retrying(
+                lambda: cluster.submit(
+                    tier.metadata_pool, oid, Transaction().remove(key), client,
+                    span=op,
+                ),
+                op="meta_delete",
+                span=op,
+            )
+            tier.bump_seq(oid)
+            via = client
+            for entry in cmap:
+                if entry.chunk_id:
+                    yield from tier.retrying(
+                        lambda cid=entry.chunk_id, e=entry: tier.chunk_deref(
+                            cid, entry_ref(tier, oid, e), via, span=op
+                        ),
+                        op="chunk_deref",
+                        span=op,
+                    )
+                idx = entry.offset // tier.config.chunk_size
+                tier.cache.note_evicted(oid, idx)
+            tier.fg_window.note(0)
+        finally:
+            lock.release()
 
 
 def entry_ref(tier: DedupTier, oid: str, entry):
@@ -258,25 +276,29 @@ def read_path(
     """
     if offset < 0:
         raise ValueError(f"negative offset {offset}")
-    # A concurrent dedup pass can re-point a chunk between our map read
-    # and the chunk-object read (the old chunk object disappears once
-    # dereferenced).  Retrying from a fresh map resolves it.
-    for attempt in range(3):
-        try:
-            data = yield from _read_once(tier, oid, offset, length, client)
-            return data
-        except NoSuchObject:
-            if attempt == 2:
-                raise
-            continue
+    with tier.tracer.root_span("op.read", oid=oid) as op:
+        # A concurrent dedup pass can re-point a chunk between our map read
+        # and the chunk-object read (the old chunk object disappears once
+        # dereferenced).  Retrying from a fresh map resolves it.
+        for attempt in range(3):
+            try:
+                data = yield from _read_once(tier, oid, offset, length, client, op)
+                op.tag(nbytes=len(data))
+                return data
+            except NoSuchObject:
+                if attempt == 2:
+                    raise
+                op.annotate("map_race", attempt=attempt + 1)
+                continue
 
 
-def _read_once(tier, oid, offset, length, client):
-    cmap = yield from tier.load_chunk_map(oid)
+def _read_once(tier, oid, offset, length, client, span=NULL_SPAN):
+    cmap = yield from tier.load_chunk_map(oid, span=span)
     if cmap is None:
         raise NoSuchObject(oid)
     # The client's request reaches the metadata pool first (one RPC).
-    yield tier.sim.timeout(tier.cluster.profile.nic.latency)
+    with span.child("tier.route"):
+        yield tier.sim.timeout(tier.cluster.profile.nic.latency)
     size = cmap.logical_size()
     end = size if length is None else min(offset + length, size)
     if end <= offset:
@@ -304,7 +326,12 @@ def _read_once(tier, oid, offset, length, client):
                 # cost as the original system's read.
                 tier.cache_hits += 1
                 gen = _read_cached_piece(
-                    tier, oid, cstart + piece_start, piece_end - piece_start, client
+                    tier,
+                    oid,
+                    cstart + piece_start,
+                    piece_end - piece_start,
+                    client,
+                    span=span,
                 )
             elif entry.chunk_id:
                 tier.cache_misses += 1
@@ -312,7 +339,12 @@ def _read_once(tier, oid, offset, length, client):
                 # the request to the chunk pool, which returns the data
                 # to the client — one extra network hop per chunk.
                 gen = _read_chunk_piece(
-                    tier, entry.chunk_id, piece_start, piece_end - piece_start, client
+                    tier,
+                    entry.chunk_id,
+                    piece_start,
+                    piece_end - piece_start,
+                    client,
+                    span=span,
                 )
             else:
                 continue  # sparse zeros within the chunk

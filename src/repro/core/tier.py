@@ -30,6 +30,7 @@ from ..cluster import (
     Transaction,
 )
 from ..faults.retry import RetryPolicy, RetryStats, call_with_retries
+from ..obs import NULL_SPAN, Tracer
 from ..perf.stages import StageCounters
 from ..sim import Resource
 from ..util.bloom import BloomFilter
@@ -170,6 +171,15 @@ class DedupTier:
         #: I/O-path and engine op funnels through :meth:`retrying`.
         self.retry_policy = RetryPolicy.from_config(self.config)
         self.retry_stats = RetryStats()
+        #: Per-op span trees (``repro.obs``) on the *simulation* clock —
+        #: DET001 stays intact because the tracer never reads wall time.
+        #: Disabled by default: every span-taking call site then gets the
+        #: shared null span and the hot path stays allocation-free.
+        self.tracer = Tracer(
+            clock=lambda: cluster.sim.now,
+            enabled=self.config.trace_ops,
+            max_spans=self.config.trace_max_spans,
+        )
         # Dirty object ID list (paper Figure 8). In-memory, rebuildable
         # from the dirty bits persisted in every chunk map.
         self._dirty_queue: Deque[str] = deque()
@@ -223,15 +233,16 @@ class DedupTier:
         """The cluster's simulator."""
         return self.cluster.sim
 
-    def retrying(self, factory, op: str = "op"):
+    def retrying(self, factory, op: str = "op", span=NULL_SPAN):
         """Process: run ``factory()`` under the tier's retry policy.
 
         ``factory`` must build a *fresh* op generator per call (each
         attempt needs its own); see
-        :func:`repro.faults.retry.call_with_retries`.
+        :func:`repro.faults.retry.call_with_retries`.  ``span`` receives
+        retry/timeout/giveup annotations.
         """
         result = yield from call_with_retries(
-            self.sim, self.retry_policy, factory, self.retry_stats, op=op
+            self.sim, self.retry_policy, factory, self.retry_stats, op=op, span=span
         )
         return result
 
@@ -321,7 +332,7 @@ class DedupTier:
                 return ChunkMap.deserialize(blob) if blob else None
         return None
 
-    def load_chunk_map(self, oid: str):
+    def load_chunk_map(self, oid: str, span=NULL_SPAN):
         """Process: fetch the chunk map at the metadata primary.
 
         The lookup happens server-side as part of whatever operation
@@ -329,15 +340,19 @@ class DedupTier:
         cost is a small primary disk read — no extra network round trip.
         Returns ``None`` for an unknown object.
         """
-        primary = self.cluster._primary(self.metadata_pool, oid)
-        key = self.metadata_key(oid)
-        if not primary.store.exists(key):
-            return None
-        blob = primary.store.get(key).xattrs.get(CHUNK_MAP_XATTR)
-        if blob is None:
-            return None
-        yield from primary.disk.read(len(blob))
-        return ChunkMap.deserialize(blob)
+        with span.child("tier.load_chunk_map", oid=oid) as s:
+            primary = self.cluster._primary(self.metadata_pool, oid)
+            key = self.metadata_key(oid)
+            if not primary.store.exists(key):
+                s.tag(found=False)
+                return None
+            blob = primary.store.get(key).xattrs.get(CHUNK_MAP_XATTR)
+            if blob is None:
+                s.tag(found=False)
+                return None
+            yield from primary.disk.read(len(blob))
+            s.tag(found=True, nbytes=len(blob))
+            return ChunkMap.deserialize(blob)
 
     def read_local_chunk(self, oid: str, offset: int, length: int):
         """Process: read cached chunk bytes at the metadata primary.
@@ -446,7 +461,7 @@ class DedupTier:
         return RefSet()
 
     # repro-lint: flt-scope -- commit primitive: faults must propagate to the caller's scope (engine skip-and-requeue / io_path retries), which owns the undo policy
-    def _store_refs(self, chunk_id: str, refs: RefSet, via):
+    def _store_refs(self, chunk_id: str, refs: RefSet, via, span=NULL_SPAN):
         blob = refs.serialize()
         try:
             if self.chunk_pool.is_ec:
@@ -456,7 +471,9 @@ class DedupTier:
             else:
                 key = self.cluster.object_key(self.chunk_pool, chunk_id)
                 txn = Transaction().setxattr(key, REFS_XATTR, blob)
-                yield from self.cluster.submit(self.chunk_pool, chunk_id, txn, via)
+                yield from self.cluster.submit(
+                    self.chunk_pool, chunk_id, txn, via, span=span
+                )
         except Exception:
             # The commit may or may not have landed; never serve the
             # in-memory state as truth.
@@ -465,7 +482,7 @@ class DedupTier:
         self._cache_refs(chunk_id, refs)
 
     # repro-lint: flt-scope -- commit primitive: faults must propagate to the caller's scope (engine skip-and-requeue / io_path retries), which owns the undo policy
-    def chunk_ref(self, chunk_id: str, ref: ChunkRef, data: bytes, via):
+    def chunk_ref(self, chunk_id: str, ref: ChunkRef, data: bytes, via, span=NULL_SPAN):
         """Process: store-or-reference a chunk object (§4.4.1 steps 4-5).
 
         If no object exists at the content-derived location, store the
@@ -479,81 +496,87 @@ class DedupTier:
 
         Returns True when the chunk data was newly stored.
         """
-        lock = self.chunk_lock(chunk_id)
-        yield lock.acquire()
-        try:
-            self.stage.ref_ops += 1
-            exists = self.chunk_exists(chunk_id)
-            refs = self._load_refs(chunk_id) if exists else RefSet()
-            refs.add(ref)
-            if not exists:
-                blob, encoding = data, b"raw"
-                if self.config.compress_chunks:
-                    node = getattr(via, "node", None)
-                    if node is not None:
-                        yield from node.cpu.execute(
-                            node.cpu.spec.compress_time(len(data))
-                        )
-                    coded = self.codec.compress(data)
-                    if len(coded) < len(data):
-                        blob, encoding = coded, b"zlib"
-                yield from self.cluster.write_full(self.chunk_pool, chunk_id, blob, via)
-                self._note_chunk_stored(chunk_id)
-                self.stage.flush_ops += 1
-                self.stage.flush_bytes += len(blob)
-                if self.config.compress_chunks:
-                    if self.chunk_pool.is_ec:
-                        yield from self.cluster.setxattr(
-                            self.chunk_pool, chunk_id, CHUNK_ENCODING_XATTR,
-                            encoding, via,
-                        )
-                    else:
-                        yield from self._set_encoding(chunk_id, encoding, via)
-                yield from self._store_refs(chunk_id, refs, via)
+        with span.child("tier.chunk_ref", chunk=chunk_id) as s:
+            lock = self.chunk_lock(chunk_id)
+            yield lock.acquire()
+            try:
+                self.stage.ref_ops += 1
+                exists = self.chunk_exists(chunk_id)
+                refs = self._load_refs(chunk_id) if exists else RefSet()
+                refs.add(ref)
+                s.tag(dedup_hit=exists)
+                if not exists:
+                    blob, encoding = data, b"raw"
+                    if self.config.compress_chunks:
+                        node = getattr(via, "node", None)
+                        if node is not None:
+                            yield from node.cpu.execute(
+                                node.cpu.spec.compress_time(len(data))
+                            )
+                        coded = self.codec.compress(data)
+                        if len(coded) < len(data):
+                            blob, encoding = coded, b"zlib"
+                    yield from self.cluster.write_full(
+                        self.chunk_pool, chunk_id, blob, via, span=s
+                    )
+                    self._note_chunk_stored(chunk_id)
+                    self.stage.flush_ops += 1
+                    self.stage.flush_bytes += len(blob)
+                    if self.config.compress_chunks:
+                        if self.chunk_pool.is_ec:
+                            yield from self.cluster.setxattr(
+                                self.chunk_pool, chunk_id, CHUNK_ENCODING_XATTR,
+                                encoding, via,
+                            )
+                        else:
+                            yield from self._set_encoding(chunk_id, encoding, via, s)
+                    yield from self._store_refs(chunk_id, refs, via, span=s)
+                    self.stage.ref_commits += 1
+                    return True
+                yield from self._store_refs(chunk_id, refs, via, span=s)
                 self.stage.ref_commits += 1
-                return True
-            yield from self._store_refs(chunk_id, refs, via)
-            self.stage.ref_commits += 1
-            return False
-        finally:
-            lock.release()
+                return False
+            finally:
+                lock.release()
 
     # repro-lint: flt-scope -- commit primitive: runs only inside chunk_ref, whose callers own the fault scope
-    def _set_encoding(self, chunk_id: str, encoding: bytes, via):
+    def _set_encoding(self, chunk_id: str, encoding: bytes, via, span=NULL_SPAN):
         key = self.cluster.object_key(self.chunk_pool, chunk_id)
         txn = Transaction().setxattr(key, CHUNK_ENCODING_XATTR, encoding)
-        yield from self.cluster.submit(self.chunk_pool, chunk_id, txn, via)
+        yield from self.cluster.submit(self.chunk_pool, chunk_id, txn, via, span=span)
 
     # repro-lint: flt-scope -- commit primitive: idempotent (§4.6); faults propagate to the caller's scope, which defers the deref to GC
-    def chunk_deref(self, chunk_id: str, ref: ChunkRef, via):
+    def chunk_deref(self, chunk_id: str, ref: ChunkRef, via, span=NULL_SPAN):
         """Process: drop one reference; remove the chunk at zero refs.
 
         Dereferencing a missing chunk or reference is a no-op (a crashed
         dedup pass may retry a dereference that already happened — the
         paper's §4.6 failure analysis relies on this idempotence).
         """
-        lock = self.chunk_lock(chunk_id)
-        yield lock.acquire()
-        try:
-            self.stage.ref_ops += 1
-            if not self.chunk_exists(chunk_id):
-                return
-            refs = self._load_refs(chunk_id)
-            if ref not in refs:
-                return
-            refs.discard(ref)
-            if len(refs) == 0:
-                try:
-                    yield from self.cluster.remove(self.chunk_pool, chunk_id, via)
-                finally:
-                    # Whether the removal landed or faulted mid-way, the
-                    # cached (already mutated) RefSet is no longer truth.
-                    self.invalidate_chunk_state(chunk_id)
-            else:
-                yield from self._store_refs(chunk_id, refs, via)
-            self.stage.ref_commits += 1
-        finally:
-            lock.release()
+        with span.child("tier.chunk_deref", chunk=chunk_id) as s:
+            lock = self.chunk_lock(chunk_id)
+            yield lock.acquire()
+            try:
+                self.stage.ref_ops += 1
+                if not self.chunk_exists(chunk_id):
+                    return
+                refs = self._load_refs(chunk_id)
+                if ref not in refs:
+                    return
+                refs.discard(ref)
+                if len(refs) == 0:
+                    s.tag(removed=True)
+                    try:
+                        yield from self.cluster.remove(self.chunk_pool, chunk_id, via)
+                    finally:
+                        # Whether the removal landed or faulted mid-way, the
+                        # cached (already mutated) RefSet is no longer truth.
+                        self.invalidate_chunk_state(chunk_id)
+                else:
+                    yield from self._store_refs(chunk_id, refs, via, span=s)
+                self.stage.ref_commits += 1
+            finally:
+                lock.release()
 
     # -- batched reference commits --------------------------------------------
 
@@ -569,7 +592,7 @@ class DedupTier:
         return self.config.batch_refs and not self.chunk_pool.is_ec
 
     # repro-lint: flt-scope -- commit primitive: two-phase prepare makes a fault all-or-nothing; callers own the requeue/defer policy
-    def commit_chunk_batch(self, batch: ChunkBatch, via):
+    def commit_chunk_batch(self, batch: ChunkBatch, via, span=NULL_SPAN):
         """Process: apply a pass's accumulated ref/deref ops at once.
 
         Per-chunk final states (refcounts, payload stores, removals)
@@ -591,118 +614,129 @@ class DedupTier:
         per_chunk: "OrderedDict[str, List[Tuple[int, Tuple]]]" = OrderedDict()
         for i, op in enumerate(batch.ops):
             per_chunk.setdefault(op[1], []).append((i, op))
-        # Sorted acquisition: concurrent passes (and the per-op path,
-        # which holds at most one chunk lock) cannot deadlock.
-        chunk_ids = sorted(per_chunk)
-        locks = [self.chunk_lock(cid) for cid in chunk_ids]
-        for lock in locks:
-            yield lock.acquire()
-        try:
-            self.stage.ref_ops += len(batch.ops)
-            items: List[Tuple[str, Transaction]] = []
-            stored_payloads: List[Tuple[str, bytes]] = []
-            removed: List[str] = []
-            survivors: List[Tuple[str, RefSet]] = []
-            for cid, ops in per_chunk.items():
-                existed = self.chunk_exists(cid)
-                refs = self._load_refs(cid) if existed else RefSet()
-                payload = None
-                for i, op in ops:
-                    if op[0] == "ref":
-                        _, _, ref, data = op
-                        if not existed and payload is None:
-                            payload = bytes(data)
-                            outcomes[i] = True
-                        else:
-                            outcomes[i] = False
-                        refs.add(ref)
-                    else:
-                        refs.discard(op[2])
-                key = self.cluster.object_key(self.chunk_pool, cid)
-                txn = Transaction()
-                if len(refs) == 0:
-                    if existed:
-                        txn.remove(key)
-                        removed.append(cid)
-                    else:
-                        # Net no-op: every ref taken in this batch was
-                        # also dropped in it — never create the object,
-                        # and downgrade the "stored" outcome.
-                        for i, op in ops:
-                            if op[0] == "ref":
-                                outcomes[i] = False
-                        payload = None
-                else:
-                    if not existed:
-                        blob, encoding = payload, b"raw"
-                        if self.config.compress_chunks:
-                            node = getattr(via, "node", None)
-                            if node is not None:
-                                yield from node.cpu.execute(
-                                    node.cpu.spec.compress_time(len(payload))
-                                )
-                            coded = self.codec.compress(payload)
-                            if len(coded) < len(payload):
-                                blob, encoding = coded, b"zlib"
-                        txn.write_full(key, blob)
-                        if self.config.compress_chunks:
-                            txn.setxattr(key, CHUNK_ENCODING_XATTR, encoding)
-                        stored_payloads.append((cid, blob))
-                    txn.setxattr(key, REFS_XATTR, refs.serialize())
-                    survivors.append((cid, refs))
-                if len(txn):
-                    items.append((cid, txn))
+        with span.child(
+            "tier.commit_chunk_batch", ops=len(batch.ops), chunks=len(per_chunk)
+        ) as s:
+            # Sorted acquisition: concurrent passes (and the per-op path,
+            # which holds at most one chunk lock) cannot deadlock.
+            chunk_ids = sorted(per_chunk)
+            locks = [self.chunk_lock(cid) for cid in chunk_ids]
+            for lock in locks:
+                yield lock.acquire()
             try:
-                yield from self.cluster.submit_batch(self.chunk_pool, items, via)
-            except Exception:
-                # The in-memory RefSets (possibly shared with the LRU)
-                # were already mutated; the substrate was not (batch
-                # prepare is all-or-nothing).  Drop every touched cache
-                # entry so a retry reloads the true state.
-                for cid in chunk_ids:
+                self.stage.ref_ops += len(batch.ops)
+                items: List[Tuple[str, Transaction]] = []
+                stored_payloads: List[Tuple[str, bytes]] = []
+                removed: List[str] = []
+                survivors: List[Tuple[str, RefSet]] = []
+                for cid, ops in per_chunk.items():
+                    existed = self.chunk_exists(cid)
+                    refs = self._load_refs(cid) if existed else RefSet()
+                    payload = None
+                    for i, op in ops:
+                        if op[0] == "ref":
+                            _, _, ref, data = op
+                            if not existed and payload is None:
+                                payload = bytes(data)
+                                outcomes[i] = True
+                            else:
+                                outcomes[i] = False
+                            refs.add(ref)
+                        else:
+                            refs.discard(op[2])
+                    key = self.cluster.object_key(self.chunk_pool, cid)
+                    txn = Transaction()
+                    if len(refs) == 0:
+                        if existed:
+                            txn.remove(key)
+                            removed.append(cid)
+                        else:
+                            # Net no-op: every ref taken in this batch was
+                            # also dropped in it — never create the object,
+                            # and downgrade the "stored" outcome.
+                            for i, op in ops:
+                                if op[0] == "ref":
+                                    outcomes[i] = False
+                            payload = None
+                    else:
+                        if not existed:
+                            blob, encoding = payload, b"raw"
+                            if self.config.compress_chunks:
+                                node = getattr(via, "node", None)
+                                if node is not None:
+                                    yield from node.cpu.execute(
+                                        node.cpu.spec.compress_time(len(payload))
+                                    )
+                                coded = self.codec.compress(payload)
+                                if len(coded) < len(payload):
+                                    blob, encoding = coded, b"zlib"
+                            txn.write_full(key, blob)
+                            if self.config.compress_chunks:
+                                txn.setxattr(key, CHUNK_ENCODING_XATTR, encoding)
+                            stored_payloads.append((cid, blob))
+                        txn.setxattr(key, REFS_XATTR, refs.serialize())
+                        survivors.append((cid, refs))
+                    if len(txn):
+                        items.append((cid, txn))
+                try:
+                    yield from self.cluster.submit_batch(
+                        self.chunk_pool, items, via, span=s
+                    )
+                except Exception:
+                    # The in-memory RefSets (possibly shared with the LRU)
+                    # were already mutated; the substrate was not (batch
+                    # prepare is all-or-nothing).  Drop every touched cache
+                    # entry so a retry reloads the true state.
+                    for cid in chunk_ids:
+                        self.invalidate_chunk_state(cid)
+                    raise
+                for cid in removed:
                     self.invalidate_chunk_state(cid)
-                raise
-            for cid in removed:
-                self.invalidate_chunk_state(cid)
-            for cid, refs in survivors:
-                self._cache_refs(cid, refs)
-            for cid, blob in stored_payloads:
-                self._note_chunk_stored(cid)
-                self.stage.flush_ops += 1
-                self.stage.flush_bytes += len(blob)
-            if items:
-                self.stage.ref_batches += 1
-                self.stage.ref_commits += len(
-                    {self.chunk_pool.pg_of(cid) for cid, _ in items}
-                )
-            return outcomes
-        finally:
-            for lock in reversed(locks):
-                lock.release()
+                for cid, refs in survivors:
+                    self._cache_refs(cid, refs)
+                for cid, blob in stored_payloads:
+                    self._note_chunk_stored(cid)
+                    self.stage.flush_ops += 1
+                    self.stage.flush_bytes += len(blob)
+                if items:
+                    self.stage.ref_batches += 1
+                    self.stage.ref_commits += len(
+                        {self.chunk_pool.pg_of(cid) for cid, _ in items}
+                    )
+                s.tag(stored=len(stored_payloads), removed=len(removed))
+                return outcomes
+            finally:
+                for lock in reversed(locks):
+                    lock.release()
 
-    def read_chunk(self, chunk_id: str, offset: int, length: Optional[int], client):
+    def read_chunk(
+        self, chunk_id: str, offset: int, length: Optional[int], client, span=NULL_SPAN
+    ):
         """Process: read chunk bytes from the chunk pool (redirection).
 
         Transparently decompresses tier-compressed chunks (the whole
         chunk must be fetched and decoded before slicing — the CPU and
         extra-bytes cost of compression's read path).
         """
-        if not self.config.compress_chunks:
-            data = yield from self.cluster.read(
-                self.chunk_pool, chunk_id, offset, length, client
+        with span.child("tier.read_chunk", chunk=chunk_id) as s:
+            if not self.config.compress_chunks:
+                data = yield from self.cluster.read(
+                    self.chunk_pool, chunk_id, offset, length, client, span=s
+                )
+                return data
+            blob = yield from self.cluster.read(
+                self.chunk_pool, chunk_id, 0, None, client, span=s
             )
-            return data
-        blob = yield from self.cluster.read(self.chunk_pool, chunk_id, 0, None, client)
-        encoding = self._chunk_encoding(chunk_id)
-        if encoding == b"zlib":
-            primary = self.cluster._primary(self.chunk_pool, chunk_id)
-            yield from primary.node.cpu.execute(
-                primary.node.cpu.spec.compress_time(len(blob))
-            )
-            blob = self.codec.decompress(blob)
-        if length is None:
-            return blob[offset:]
-        return blob[offset : offset + length]
+            encoding = self._chunk_encoding(chunk_id)
+            if encoding == b"zlib":
+                primary = self.cluster._primary(self.chunk_pool, chunk_id)
+                yield from primary.node.cpu.execute(
+                    primary.node.cpu.spec.compress_time(len(blob))
+                )
+                blob = self.codec.decompress(blob)
+            if length is None:
+                return blob[offset:]
+            return blob[offset : offset + length]
 
     def _chunk_encoding(self, chunk_id: str) -> bytes:
         key = self.cluster.object_key(self.chunk_pool, chunk_id)

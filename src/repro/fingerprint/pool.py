@@ -39,6 +39,7 @@ from dataclasses import dataclass
 from time import perf_counter
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from ..obs import NULL_SPAN, Span
 from .fingerprint import fingerprint
 
 __all__ = ["FingerprintHandle", "FingerprintPool", "PoolStats"]
@@ -160,13 +161,19 @@ class FingerprintPool:
         return self.submit_many([data], algorithm)[0]
 
     def submit_many(
-        self, payloads: Iterable[bytes], algorithm: Optional[str] = None
+        self,
+        payloads: Iterable[bytes],
+        algorithm: Optional[str] = None,
+        span: Span = NULL_SPAN,
     ) -> List[FingerprintHandle]:
         """Fan a batch of payloads out across the pool, sharded.
 
         Returns one handle per payload, in the given order.  At most
         ``workers`` executor tasks are dispatched: contiguous slices of
         the batch, so hand-off overhead is amortised over the shard.
+
+        ``span`` (a ``repro.obs`` span) is tagged with the dispatch
+        shape — task, shard, and worker counts.
         """
         items = [bytes(p) for p in payloads]
         algo = algorithm if algorithm is not None else self.algorithm
@@ -176,6 +183,7 @@ class FingerprintPool:
         if self._span_started is None:
             self._span_started = perf_counter()
         if not self.parallel:
+            span.tag(fp_tasks=len(items), fp_shards=0, fp_workers=1)
             handles = []
             for data in items:
                 self._serial += 1
@@ -192,6 +200,7 @@ class FingerprintPool:
                 max_workers=self.workers, thread_name_prefix="repro-fp"
             )
         nshards = min(self.workers, len(items))
+        span.tag(fp_tasks=len(items), fp_shards=nshards, fp_workers=self.workers)
         per_shard = -(-len(items) // nshards)  # ceil division
         handles = []
         for lo in range(0, len(items), per_shard):

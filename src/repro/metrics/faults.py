@@ -8,11 +8,12 @@ counters, engine requeues, and currently-down OSDs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Any, List, Optional
 
 from ..faults.injector import FaultStats
 from ..faults.retry import RetryStats
+from ..obs.registry import MetricsRegistry
 
 __all__ = ["FaultReport", "fault_report"]
 
@@ -49,6 +50,32 @@ class FaultReport:
             + (",".join(map(str, self.down_osds)) if self.down_osds else "none")
         )
         return lines
+
+    def export_to(self, registry: MetricsRegistry) -> None:
+        """Write the snapshot into a registry as labeled gauges."""
+        retry = registry.gauge(
+            "repro_retry_stats", "Retry-layer counters", labels=("stat",)
+        )
+        for stat, value in sorted(asdict(self.retry).items()):
+            retry.labels(stat=stat).set(value)
+        registry.gauge(
+            "repro_availability", "Fraction of logical ops that succeeded"
+        ).set(self.availability)
+        if self.faults is not None:
+            injected = registry.gauge(
+                "repro_fault_events", "Fault-injector counters", labels=("kind",)
+            )
+            for kind, value in sorted(asdict(self.faults).items()):
+                injected.labels(kind=kind).set(value)
+        registry.gauge("repro_down_osds", "OSDs down at snapshot time").set(
+            len(self.down_osds)
+        )
+        registry.gauge(
+            "repro_engine_fault_requeues", "Dedup passes requeued by faults"
+        ).set(self.engine_requeues)
+        registry.gauge(
+            "repro_derefs_deferred", "Dereferences left for the offline GC"
+        ).set(self.derefs_deferred)
 
 
 def fault_report(storage: Any) -> FaultReport:

@@ -5,6 +5,8 @@ from __future__ import annotations
 import math
 from typing import Dict, List
 
+from ..obs.registry import MetricsRegistry
+
 __all__ = ["LatencyRecorder"]
 
 
@@ -47,7 +49,13 @@ class LatencyRecorder:
         return max(self._samples) if self._samples else 0.0
 
     def percentile(self, p: float) -> float:
-        """p-th percentile (0..100), linear interpolation; 0.0 if empty."""
+        """p-th percentile (0..100), linear interpolation; 0.0 if empty.
+
+        Defined at both edges: ``percentile(0)`` is the minimum and
+        ``percentile(100)`` the maximum, with the interpolation indices
+        clamped so float rounding in ``p / 100 * (n - 1)`` can never
+        step outside the sample list.
+        """
         if not (0.0 <= p <= 100.0):
             raise ValueError(f"percentile must be in [0, 100], got {p}")
         if not self._samples:
@@ -55,9 +63,10 @@ class LatencyRecorder:
         ordered = sorted(self._samples)
         if len(ordered) == 1:
             return ordered[0]
-        rank = p / 100.0 * (len(ordered) - 1)
-        lo = math.floor(rank)
-        hi = math.ceil(rank)
+        top = len(ordered) - 1
+        rank = min(p / 100.0 * top, float(top))
+        lo = min(math.floor(rank), top)
+        hi = min(math.ceil(rank), top)
         if lo == hi:
             return ordered[lo]
         frac = rank - lo
@@ -87,3 +96,19 @@ class LatencyRecorder:
             "min": self.minimum,
             "max": self.maximum,
         }
+
+    def export_to(self, registry: MetricsRegistry) -> None:
+        """Materialise the samples as a labeled registry histogram.
+
+        All recorders share one ``repro_op_latency_seconds`` family,
+        labeled by the recorder's ``name`` (idempotent registration, so
+        any number of recorders can export into the same registry).
+        """
+        family = registry.histogram(
+            "repro_op_latency_seconds",
+            "Per-operation latency distribution",
+            labels=("op",),
+        )
+        series = family.labels(op=self.name or "all")
+        for sample in self._samples:
+            series.observe(sample)

@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict
 
+from ..obs.registry import MetricsRegistry
+
 __all__ = ["CpuSnapshot", "cpu_usage", "StorageBreakdown", "storage_breakdown"]
 
 
@@ -26,6 +28,19 @@ class CpuSnapshot:
         """Cluster-average CPU usage in percent (Figure 10's axis)."""
         return 100.0 * self.mean
 
+    def export_to(self, registry: MetricsRegistry) -> None:
+        """Write the snapshot into a registry as labeled gauges."""
+        per_node = registry.gauge(
+            "repro_cpu_utilization",
+            "Fraction of cores busy per node (0..1)",
+            labels=("node",),
+        )
+        for name in sorted(self.per_node):
+            per_node.labels(node=name).set(self.per_node[name])
+        registry.gauge(
+            "repro_cpu_utilization_mean", "Cluster-average fraction of cores busy"
+        ).set(self.mean)
+
 
 def cpu_usage(cluster: Any, since: float = 0.0) -> CpuSnapshot:
     """Measure CPU utilisation of every storage node since ``since``."""
@@ -42,6 +57,19 @@ class StorageBreakdown:
 
     per_pool: Dict[str, int]
     total: int
+
+    def export_to(self, registry: MetricsRegistry) -> None:
+        """Write the breakdown into a registry as labeled gauges."""
+        per_pool = registry.gauge(
+            "repro_pool_used_bytes",
+            "Raw bytes (all copies/shards) used per pool",
+            labels=("pool",),
+        )
+        for name in sorted(self.per_pool):
+            per_pool.labels(pool=name).set(self.per_pool[name])
+        registry.gauge(
+            "repro_used_bytes_total", "Raw bytes used across every OSD"
+        ).set(self.total)
 
 
 def storage_breakdown(cluster: Any) -> StorageBreakdown:

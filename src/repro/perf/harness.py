@@ -38,6 +38,7 @@ from ..chunking import GearChunker, validate_chunking
 from ..chunking._vector import HAVE_NUMPY
 from ..core.scrub import scrub_sync
 from ..fingerprint import FingerprintPool
+from ..obs import stage_rollup
 from ..workloads import BackupSpec, BackupStream, ContentGenerator, FioJobSpec, FioRunner
 from .stages import StageCounters
 
@@ -101,6 +102,9 @@ class ModeResult:
     #: Chunks the engine processed (flushed + deduped) in those drains.
     dedup_ops: int = 0
     stages: Dict[str, float] = field(default_factory=dict)
+    #: Per-stage span rollup ({stage: {count, seconds, mean, max}} on the
+    #: sim clock) when the run was traced; empty otherwise.
+    spans: Dict[str, Dict[str, float]] = field(default_factory=dict)
     #: Digest of the full read-back, refcount map, and scrub verdict —
     #: compared across modes by the verification step.
     readback_digest: str = ""
@@ -132,6 +136,7 @@ class ModeResult:
             "scrub_clean": self.scrub_clean,
             "readback_digest": self.readback_digest,
             "stages": self.stages,
+            "spans": self.spans,
         }
 
 
@@ -199,6 +204,8 @@ def _collect(storage, mode: str, wall: float, sim0: float, ops: int,
         stages=tier.stage.snapshot(),
         readback_digest=hashlib.sha1(readback).hexdigest(),
     )
+    if tier.tracer.enabled:
+        result.spans = stage_rollup(tier.tracer.to_records())
     # Verification is outside the timed window on purpose.
     result.refcounts = {
         cid: tier.chunk_refcount(cid)
@@ -208,10 +215,14 @@ def _collect(storage, mode: str, wall: float, sim0: float, ops: int,
     return result
 
 
-def _run_fio_mode(mode: str, overrides: dict, seed: int, fast: bool) -> ModeResult:
+def _run_fio_mode(
+    mode: str, overrides: dict, seed: int, fast: bool, trace: bool = False
+) -> ModeResult:
     """Small-random fio: chunk-aligned random writes, heavy dedup, two
     write+drain cycles (the second hits existing chunks, exercising the
     ref-append path the batching collapses)."""
+    if trace:
+        overrides = dict(overrides, trace_ops=True)
     spec = FioJobSpec(
         pattern="randwrite",
         block_size=32 * KiB,
@@ -250,9 +261,13 @@ def _run_fio_mode(mode: str, overrides: dict, seed: int, fast: bool) -> ModeResu
     return _collect(storage, mode, wall, sim0, total_ops, dedup_wall, readback)
 
 
-def _run_backup_mode(mode: str, overrides: dict, seed: int, fast: bool) -> ModeResult:
+def _run_backup_mode(
+    mode: str, overrides: dict, seed: int, fast: bool, trace: bool = False
+) -> ModeResult:
     """Incremental backup: each generation is mostly duplicate blocks of
     the previous one, drained between generations."""
+    if trace:
+        overrides = dict(overrides, trace_ops=True)
     spec = BackupSpec(
         dataset_size=(1 if fast else 2) * MiB,
         block_size=512 * KiB,  # 16 chunks per backup object
@@ -280,8 +295,11 @@ def _run_backup_mode(mode: str, overrides: dict, seed: int, fast: bool) -> ModeR
     return _collect(storage, mode, wall, sim0, ops, dedup_wall, readback)
 
 
-def _run_pipeline_mode(mode: str, overrides: dict, seed: int, fast: bool) -> ModeResult:
-    """Chunk → fingerprint pipeline in isolation (no simulator).
+def _run_pipeline_mode(
+    mode: str, overrides: dict, seed: int, fast: bool, trace: bool = False
+) -> ModeResult:
+    """Chunk → fingerprint pipeline in isolation (no simulator, so
+    ``trace`` is accepted but has nothing to record).
 
     Measures the two stages this PR vectorizes/parallelises on a seeded
     content stream: ``unbatched`` is the pre-optimisation path (pure-
@@ -349,6 +367,7 @@ def run_perf(
     seed: int = 0,
     repeats: int = 5,
     workers: Optional[int] = None,
+    trace: bool = False,
 ) -> dict:
     """Run every workload in both modes; returns the report dict.
 
@@ -366,6 +385,11 @@ def run_perf(
     ratio comparable across machines with different core counts.  The
     ``pipeline-chunk-fingerprint`` workload is the one that contrasts
     it: serial reference scan vs vectorized scan + ``workers`` threads.
+
+    ``trace`` runs the simulated workloads with op tracing enabled
+    (``DedupConfig.trace_ops``), attaching a per-stage span rollup to
+    each ``ModeResult`` — this is the leg the obs-overhead CI gate
+    measures against the untraced baseline.
     """
     fast = FAST if fast is None else fast
     resolved_workers = workers if workers is not None else (os.cpu_count() or 1)
@@ -380,11 +404,12 @@ def run_perf(
                 dict(UNBATCHED, fingerprint_workers=resolved_workers),
                 seed,
                 fast,
+                trace,
             )
             if unbatched is None or u.dedup_wall_seconds < unbatched.dedup_wall_seconds:
                 unbatched = u
             b = runner(
-                "batched", dict(fingerprint_workers=resolved_workers), seed, fast
+                "batched", dict(fingerprint_workers=resolved_workers), seed, fast, trace
             )
             if batched is None or b.dedup_wall_seconds < batched.dedup_wall_seconds:
                 batched = b
@@ -394,6 +419,7 @@ def run_perf(
         "schema": 1,
         "fast": fast,
         "seed": seed,
+        "trace": trace,
         "workers": resolved_workers,
         "machine_score": score,
         "workloads": {w.name: w.to_dict() for w in workloads},

@@ -1,0 +1,50 @@
+"""OBS001 fixture: span-starting calls that leak vs. properly closed.
+
+Linted with a module override placing it under ``repro.core``.  Line
+numbers are asserted in ``test_rules.py`` — keep them stable.
+"""
+
+
+class Worker:
+    def leaky(self, tracer, parent):
+        s = tracer.root_span("op.write")  # line 10: OBS001 (never closed)
+        parent.child("tier.lock_wait")  # line 11: OBS001 (discarded)
+        s.tag(oid="x")
+
+    def leaky_partial_finish(self, tracer):
+        s = tracer.start_span("op.read")  # line 15: OBS001 (finish not in finally)
+        do_work()
+        s.finish()
+
+    def closed_with(self, tracer, parent):
+        with tracer.root_span("op.write") as op:  # clean: with closes it
+            with op.child("tier.lock_wait"):  # clean: bare with
+                do_work()
+
+    def closed_try_finally(self, tracer):
+        s = tracer.start_span("op.read")  # clean: finally finishes it
+        try:
+            do_work()
+        finally:
+            s.finish()
+
+    def closed_with_later(self, parent):
+        s = parent.child("engine.fingerprint")  # clean: entered below
+        prepare()
+        with s:
+            do_work()
+
+    def factory(self, tracer):
+        return tracer.root_span("op.delete")  # clean: caller owns it
+
+    def unrelated_child_method(self, node):
+        node.child("left")  # line 41: OBS001 (name-based rule is blunt;
+        # non-span .child() calls in repro.* must suppress or rename)
+
+
+def do_work():
+    pass
+
+
+def prepare():
+    pass

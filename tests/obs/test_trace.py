@@ -1,0 +1,146 @@
+"""Tracer/Span unit tests: tree shape, lifecycle, null behaviour, caps."""
+
+from repro.obs import NULL_SPAN, NullSpan, Span, Tracer
+
+
+class FakeClock:
+    """Manual clock so span times are exact."""
+
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def tick(self, dt: float = 1.0) -> None:
+        self.t += dt
+
+    def __call__(self) -> float:
+        return self.t
+
+
+def test_span_tree_ids_and_trace_propagation():
+    clock = FakeClock()
+    tracer = Tracer(clock)
+    root = tracer.root_span("op.write", oid="a")
+    child = root.child("tier.lock_wait")
+    grand = child.child("rados.submit", pg=3)
+    assert (root.span_id, child.span_id, grand.span_id) == (1, 2, 3)
+    assert child.parent_id == root.span_id
+    assert grand.parent_id == child.span_id
+    assert root.parent_id is None
+    # Every descendant shares the root's trace id.
+    assert root.trace_id == child.trace_id == grand.trace_id == root.span_id
+    assert root.tags == {"oid": "a"}
+    assert grand.tags == {"pg": 3}
+    assert len(tracer) == 3
+
+
+def test_finish_is_idempotent_and_duration_uses_clock():
+    clock = FakeClock()
+    tracer = Tracer(clock)
+    span = tracer.root_span("op.read")
+    assert span.duration == 0.0  # still open
+    clock.tick(2.5)
+    span.finish()
+    clock.tick(10.0)
+    span.finish()  # second finish must not move the end time
+    assert span.end == 2.5
+    assert span.duration == 2.5
+
+
+def test_with_block_finishes_and_annotates_errors():
+    clock = FakeClock()
+    tracer = Tracer(clock)
+    with tracer.root_span("op.write") as span:
+        clock.tick()
+    assert span.end == 1.0
+    try:
+        with tracer.root_span("op.read") as failing:
+            raise KeyError("nope")
+    except KeyError:
+        pass
+    assert failing.end is not None
+    assert failing.events is not None
+    assert failing.events[0]["kind"] == "error"
+    assert failing.events[0]["type"] == "KeyError"
+
+
+def test_annotate_events_are_lazy_and_timestamped():
+    clock = FakeClock()
+    tracer = Tracer(clock)
+    span = tracer.root_span("op.write")
+    assert span.events is None  # no allocation until first event
+    clock.tick(3.0)
+    span.annotate("timeout", op="submit")
+    assert span.events == [{"kind": "timeout", "t": 3.0, "op": "submit"}]
+    record = span.to_record()
+    assert record["events"][0]["kind"] == "timeout"
+
+
+def test_null_span_is_a_no_op_singleton():
+    assert isinstance(NULL_SPAN, NullSpan)
+    assert NULL_SPAN.child("anything") is NULL_SPAN
+    NULL_SPAN.tag(x=1)
+    NULL_SPAN.annotate("whatever")
+    NULL_SPAN.finish()
+    with NULL_SPAN as span:
+        assert span is NULL_SPAN
+    assert NULL_SPAN.tags == {}
+    assert NULL_SPAN.duration == 0.0
+
+
+def test_disabled_tracer_buffers_nothing():
+    tracer = Tracer(FakeClock(), enabled=False)
+    span = tracer.root_span("op.write")
+    assert span is NULL_SPAN
+    assert span.child("tier.route") is NULL_SPAN
+    assert len(tracer) == 0
+    assert tracer.to_records() == []
+
+
+def test_child_of_null_span_stays_null():
+    # An enabled tracer must not fabricate orphans under a null parent.
+    tracer = Tracer(FakeClock())
+    assert tracer.start_span("tier.route", parent=NULL_SPAN) is NULL_SPAN
+    assert len(tracer) == 0
+
+
+def test_max_spans_cap_counts_drops():
+    tracer = Tracer(FakeClock(), max_spans=2)
+    a = tracer.root_span("op.1")
+    b = tracer.root_span("op.2")
+    c = tracer.root_span("op.3")
+    d = a.child("stage")
+    assert isinstance(a, Span) and a is not NULL_SPAN
+    assert b is not NULL_SPAN
+    assert c is NULL_SPAN and d is NULL_SPAN
+    assert len(tracer) == 2
+    assert tracer.dropped == 2
+
+
+def test_clear_keeps_id_sequence_monotonic():
+    tracer = Tracer(FakeClock(), max_spans=1)
+    tracer.root_span("op.1")
+    tracer.root_span("op.2")  # dropped
+    assert tracer.dropped == 1
+    tracer.clear()
+    assert len(tracer) == 0
+    assert tracer.dropped == 0
+    again = tracer.root_span("op.3")
+    assert again.span_id == 2  # ids never reused across clear()
+
+
+def test_to_record_shape():
+    clock = FakeClock()
+    tracer = Tracer(clock)
+    with tracer.root_span("op.write", oid="x") as span:
+        clock.tick()
+    record = span.to_record()
+    assert record == {
+        "span_id": 1,
+        "parent_id": None,
+        "trace_id": 1,
+        "stage": "op.write",
+        "start": 0.0,
+        "end": 1.0,
+        "tags": {"oid": "x"},
+        "events": [],
+    }

@@ -1,0 +1,135 @@
+"""End-to-end obs tests: traced workloads, the CLI, and collectors."""
+
+from repro.cli import main
+from repro.obs import check_trace
+from repro.obs.cli import REQUIRED_STAGE_PREFIXES, run_traced_workload
+from repro.obs.collect import storage_metrics
+from repro.obs.export import load_trace_jsonl
+
+KiB = 1024
+
+
+def test_traced_workload_satisfies_the_obs_smoke_contract():
+    storage = run_traced_workload(seed=3, objects=12)
+    records = storage.tracer.to_records()
+    assert records
+    problems = check_trace(
+        records,
+        required_stages=REQUIRED_STAGE_PREFIXES,
+        coverage_threshold=0.95,
+    )
+    assert problems == []
+    roots = {r["stage"] for r in records if r["parent_id"] is None}
+    assert {"op.write", "op.dedup_pass", "op.read", "op.delete"} <= roots
+
+
+def test_traced_workload_is_deterministic():
+    first = run_traced_workload(seed=7, objects=10).tracer.to_records()
+    second = run_traced_workload(seed=7, objects=10).tracer.to_records()
+    assert first == second  # bit-for-bit: ids, stages, times, tags
+
+
+def test_tracing_does_not_perturb_the_simulation():
+    from repro.cluster import RadosCluster
+    from repro.core import DedupConfig, DedupedStorage
+    from repro.workloads import ContentGenerator
+
+    def run(trace_ops):
+        cluster = RadosCluster(num_hosts=2, osds_per_host=2, pg_num=16)
+        storage = DedupedStorage(
+            cluster,
+            DedupConfig(chunk_size=16 * KiB, trace_ops=trace_ops),
+            start_engine=False,
+        )
+        gen = ContentGenerator(seed=5, dedupe_ratio=0.6)
+        for i in range(8):
+            storage.write_sync(f"o-{i}", gen.block(32 * KiB))
+        storage.drain()
+        data = [storage.read_sync(f"o-{i}") for i in range(8)]
+        return data, storage.sim.now
+
+    traced_data, traced_now = run(True)
+    plain_data, plain_now = run(False)
+    assert traced_data == plain_data
+    assert traced_now == plain_now
+
+
+def test_storage_metrics_snapshot_contains_core_families():
+    storage = run_traced_workload(seed=1, objects=6)
+    registry = storage_metrics(storage)
+    names = {family.name for family in registry.families()}
+    assert {
+        "repro_sim_seconds",
+        "repro_engine_ops",
+        "repro_space_bytes",
+        "repro_dedup_ratio_ideal",
+        "repro_trace_spans",
+    } <= names
+    # Snapshotting twice into the same registry must be legal (gauges
+    # overwrite; idempotent registration).
+    assert storage_metrics(storage, registry) is registry
+    assert registry.get("repro_trace_spans").labels().value == len(
+        storage.tracer.spans
+    )
+
+
+def test_obs_cli_trace_report_and_top_spans(tmp_path, capsys):
+    trace_path = str(tmp_path / "trace.jsonl")
+    metrics_path = str(tmp_path / "metrics.prom")
+    assert (
+        main(
+            [
+                "obs",
+                "trace",
+                "--objects",
+                "9",
+                "--out",
+                trace_path,
+                "--metrics-out",
+                metrics_path,
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "integrity OK" in out
+    records = load_trace_jsonl(trace_path)
+    assert check_trace(records, required_stages=REQUIRED_STAGE_PREFIXES) == []
+    with open(metrics_path, encoding="utf-8") as fh:
+        assert "repro_sim_seconds" in fh.read()
+
+    assert main(["obs", "report", "--trace", trace_path]) == 0
+    report = capsys.readouterr().out
+    assert "root coverage:" in report
+    assert "integrity: OK" in report
+    assert "op.write" in report
+
+    assert (
+        main(
+            ["obs", "top-spans", "--trace", trace_path, "-n", "3", "--stage", "op."]
+        )
+        == 0
+    )
+    top = capsys.readouterr().out.strip().splitlines()
+    assert len(top) == 3
+    assert all("op." in line for line in top)
+
+
+def test_obs_report_rejects_an_empty_trace(tmp_path):
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    assert main(["obs", "report", "--trace", str(empty)]) == 1
+
+
+def test_perf_harness_attaches_span_rollups_when_traced():
+    from repro.perf.harness import _run_fio_mode
+
+    traced = _run_fio_mode("batched", {"fingerprint_workers": 1}, 0, True, True)
+    plain = _run_fio_mode("batched", {"fingerprint_workers": 1}, 0, True, False)
+    assert traced.spans and not plain.spans
+    assert any(stage.startswith("rados.") for stage in traced.spans)
+    assert traced.spans["op.dedup_pass"]["count"] > 0
+    # Tracing must not change what the workload computed.
+    assert traced.readback_digest == plain.readback_digest
+    assert traced.refcounts == plain.refcounts
+    assert traced.sim_seconds == plain.sim_seconds

@@ -4,13 +4,16 @@
 # Tools that only CI installs (ruff, mypy, pytest-cov) are skipped with
 # a notice when absent.  Usage:
 #
-#   scripts/ci_local.sh            # lint + invariants + tests + coverage + faults + perf
-#   scripts/ci_local.sh --bench    # also the nightly bench smoke
+#   scripts/ci_local.sh               # lint + invariants + tests + coverage + faults + elasticity + perf
+#   scripts/ci_local.sh --bench       # also the nightly bench smoke
+#   scripts/ci_local.sh --bench-full  # also the full (slow) benchmark suite
 set -u
 cd "$(dirname "$0")/.."
 
 RUN_BENCH=0
+RUN_BENCH_FULL=0
 [ "${1:-}" = "--bench" ] && RUN_BENCH=1
+[ "${1:-}" = "--bench-full" ] && RUN_BENCH_FULL=1
 
 FAILURES=0
 step() {
@@ -38,14 +41,16 @@ with open(".github/workflows/ci.yml") as fh:
 jobs = doc["jobs"]
 expected = {
     "lint", "lint-invariants", "test", "test-no-numpy", "coverage",
-    "faults-smoke", "perf-smoke", "obs-smoke", "obs-overhead",
-    "perf-baseline-refresh", "bench-smoke",
+    "faults-smoke", "elasticity-smoke", "perf-smoke", "obs-smoke",
+    "obs-overhead", "perf-baseline-refresh", "bench-smoke", "bench-full",
 }
 assert expected <= set(jobs), jobs.keys()
 matrix = jobs["test"]["strategy"]["matrix"]["python-version"]
-assert matrix == ["3.9", "3.11", "3.12"], matrix
+assert matrix == ["3.9", "3.11", "3.12", "3.13"], matrix
 seeds = jobs["faults-smoke"]["strategy"]["matrix"]["fault-seed"]
 assert len(set(seeds)) == 3, seeds
+eseeds = jobs["elasticity-smoke"]["strategy"]["matrix"]["elasticity-seed"]
+assert len(set(eseeds)) == 3, eseeds
 concurrency = doc["concurrency"]
 assert concurrency["cancel-in-progress"] is True, concurrency
 EOF
@@ -92,6 +97,12 @@ for seed in 11 29 4242; do
         env PYTHONPATH=src python -m repro --seed "$seed" faults
 done
 
+# -- elasticity-smoke job ---------------------------------------------------
+for seed in 11 29 4242; do
+    step "elasticity-smoke: online expand + decommission, seed $seed" \
+        env PYTHONPATH=src python -m repro --seed "$seed" rebalance
+done
+
 # -- perf-smoke job ---------------------------------------------------------
 step "perf-smoke: harness vs committed baseline" \
     env PYTHONPATH=src python -m repro perf --fast --workers 4 \
@@ -120,6 +131,20 @@ else
     echo
     echo "==> bench-smoke: skipped (pass --bench to run)"
 fi
+
+# -- bench-full job (nightly / dispatch input; opt-in locally) ---------------
+if [ "$RUN_BENCH_FULL" = 1 ]; then
+    step "bench-full: full benchmark suite" \
+        env PYTHONPATH=src python -m pytest -q benchmarks \
+        --benchmark-json=bench-full.json
+else
+    echo
+    echo "==> bench-full: skipped (pass --bench-full to run)"
+fi
+
+# -- perf-baseline-refresh job (manual-only in CI; notice here) --------------
+echo
+echo "==> perf-baseline-refresh: manual-only (run scripts/refresh_perf_baseline.py to regenerate)"
 
 echo
 if [ "$FAILURES" -ne 0 ]; then

@@ -7,6 +7,7 @@ Usage::
     python -m repro status          # demo cluster + operational snapshot
     python -m repro scrub           # demo cluster + integrity scrub
     python -m repro faults          # seeded fault-injection run + verdict
+    python -m repro rebalance       # online expand/decommission + verdict
     python -m repro perf --fast     # hot-path wall-clock benchmark
     python -m repro obs trace       # traced workload -> span JSONL + checks
     python -m repro obs report      # per-stage span rollup + coverage
@@ -137,6 +138,60 @@ def _cmd_faults(args) -> int:
           f" {len(scrub.dangling_map_entries)} dangling entries,"
           f" {len(scrub.stale_references)} stale refs,"
           f" {len(scrub.unreferenced_chunks)} unreferenced")
+    print(f"verdict:           {'CLEAN' if result.ok else 'DAMAGED'}")
+    return 0 if result.ok else 1
+
+
+def _cmd_rebalance(args) -> int:
+    from .faults import run_elastic_workload
+
+    if args.horizon <= 0:
+        print(f"error: --horizon must be positive, got {args.horizon}",
+              file=sys.stderr)
+        return 2
+    result = run_elastic_workload(
+        seed=args.seed,
+        num_objects=args.objects,
+        horizon=args.horizon,
+        rate_limit_bps=args.rate * KiB * KiB if args.rate else None,
+        with_faults=not args.no_faults,
+    )
+    if result.plan is not None:
+        print(f"fault plan (seed {args.seed}, {len(result.plan)} events):")
+        for line in result.plan.describe() or ["  (empty plan)"]:
+            print(f"  {line}")
+        print()
+    print("topology changes:")
+    for diff in result.expand_diffs:
+        print(f"  expand:       {diff.pgs_remapped} PGs remapped"
+              f" (epoch {diff.epoch})")
+    if result.decommission_diff is not None:
+        print(f"  decommission: osd {result.decommissioned_osd},"
+              f" {result.decommission_diff.pgs_remapped} PGs remapped"
+              f" (epoch {result.decommission_diff.epoch})")
+    print()
+    print("rebalance:")
+    for line in result.rebalance_stats.summary_lines():
+        print(f"  {line}")
+    print()
+    scrub = result.scrub
+    print(f"objects written    {result.objects_written}"
+          f" ({len(result.corrupted_objects)} lost/corrupted)")
+    print(f"dedup scrub        {scrub.chunks_checked} chunks checked,"
+          f" {len(scrub.corrupt_chunks)} corrupt,"
+          f" {len(scrub.dangling_map_entries)} dangling entries,"
+          f" {len(scrub.stale_references)} stale refs")
+    for report, name in zip(result.replica_reports, ("metadata", "chunk")):
+        print(f"{name + ' pool scrub':<18} "
+              f"{'CLEAN' if report.clean else 'DAMAGED'}")
+    print(f"placement          {len(result.placement_violations)} violation(s)")
+    for line in result.placement_violations[:10]:
+        print(f"  {line}")
+    print(f"trace              {len(result.trace_problems)} problem(s)")
+    for line in result.trace_problems[:10]:
+        print(f"  {line}")
+    print(f"decommission       "
+          f"{'finalized' if result.finalized else 'NOT finalized'}")
     print(f"verdict:           {'CLEAN' if result.ok else 'DAMAGED'}")
     return 0 if result.ok else 1
 
@@ -289,6 +344,33 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=4.0,
         help="fault-schedule length in simulated seconds (default 4.0)",
     )
+    rebalance = sub.add_parser(
+        "rebalance",
+        help="online elasticity: expand + decommission under load, rebalance,"
+        " verify",
+    )
+    rebalance.add_argument(
+        "--objects", type=int, default=32, help="objects to write (default 32)"
+    )
+    rebalance.add_argument(
+        "--horizon",
+        type=float,
+        default=6.0,
+        help="scenario length in simulated seconds (default 6.0)",
+    )
+    rebalance.add_argument(
+        "--rate",
+        type=float,
+        default=64.0,
+        metavar="MIB_PER_S",
+        help="background rebalance rate limit in MiB/s while the workload"
+        " runs (default 64; 0 = unthrottled)",
+    )
+    rebalance.add_argument(
+        "--no-faults",
+        action="store_true",
+        help="run the elasticity scenario without the seeded fault plan",
+    )
     perf = sub.add_parser(
         "perf",
         help="wall-clock hot-path benchmark: batched vs per-op, verified",
@@ -435,6 +517,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "status": _cmd_status,
         "scrub": _cmd_scrub,
         "faults": _cmd_faults,
+        "rebalance": _cmd_rebalance,
         "perf": _cmd_perf,
         "obs": _cmd_obs,
         "lint": _cmd_lint,

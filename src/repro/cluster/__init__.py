@@ -31,6 +31,15 @@ from .objectstore import (
 from .osd import Node, OSD, OsdDownError, OsdError, OsdFullError
 from .pool import ErasureCoded, Pool, Replicated
 from .rados import Client, NotEnoughReplicas, RadosCluster
+from .rebalance import (
+    PgRemap,
+    RebalanceStats,
+    Rebalancer,
+    RemapDiff,
+    compute_remap,
+    placement_report,
+    rebalance_sync,
+)
 from .recovery import RecoveryStats, plan_recovery, recover, recover_sync
 from .scrub import (
     ReplicaScrubReport,
@@ -73,6 +82,13 @@ __all__ = [
     "Client",
     "RadosCluster",
     "NotEnoughReplicas",
+    "PgRemap",
+    "RemapDiff",
+    "Rebalancer",
+    "RebalanceStats",
+    "compute_remap",
+    "placement_report",
+    "rebalance_sync",
     "RecoveryStats",
     "plan_recovery",
     "recover",

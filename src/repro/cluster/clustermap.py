@@ -30,6 +30,10 @@ class OsdInfo:
     up: bool = True
     in_cluster: bool = True
     rack: str = "default"
+    #: Administratively out (being drained for removal), as opposed to
+    #: auto-out after a failure.  A daemon restart must NOT bring a
+    #: decommissioned OSD back into placement.
+    decommissioned: bool = False
 
     @property
     def active(self) -> bool:
@@ -86,8 +90,23 @@ class ClusterMap:
         self.epoch += 1
 
     def mark_in(self, osd_id: int) -> None:
-        """Return the OSD to placement."""
-        self._get(osd_id).in_cluster = True
+        """Return the OSD to placement (cancels a pending decommission)."""
+        info = self._get(osd_id)
+        info.in_cluster = True
+        info.decommissioned = False
+        self.epoch += 1
+
+    def remove_osd(self, osd_id: int) -> None:
+        """Forget a decommissioned OSD entirely.
+
+        Only valid once the OSD is out of placement and drained; the
+        cluster facade (:meth:`RadosCluster.finalize_decommission`)
+        enforces that.
+        """
+        info = self._get(osd_id)
+        if info.in_cluster:
+            raise ValueError(f"osd.{osd_id} is still in placement; mark it out first")
+        del self.osds[osd_id]
         self.epoch += 1
 
     def hosts(self) -> Dict[str, List[int]]:

@@ -24,7 +24,7 @@ Semantics follow Ceph:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Dict, Iterable, List, Optional, Set, Tuple, TYPE_CHECKING
 
 from ..obs import NULL_SPAN
 from ..sim import Resource, Simulator
@@ -34,6 +34,9 @@ from .hardware import HardwareProfile, Nic
 from .objectstore import NoSuchObject, ObjectKey, StoredObject, Transaction
 from .osd import Node, OSD, OsdDownError
 from .pool import Pool, Replicated
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from .rebalance import PgRemap, RemapDiff
 
 __all__ = ["Client", "RadosCluster", "NotEnoughReplicas"]
 
@@ -111,6 +114,11 @@ class RadosCluster:
         # RADOS orders mutations per object at the PG: concurrent writes
         # to one object serialise.
         self._write_locks: Dict[ObjectKey, Resource] = {}
+        # PGs whose acting set changed under live data (expansion /
+        # decommission).  While an entry is active, IO for the PG runs
+        # against the union of old+new locations; the rebalance engine
+        # (repro.cluster.rebalance) migrates the data and retires it.
+        self._active_remaps: Dict[Tuple[int, int], "PgRemap"] = {}
 
     def _write_lock(self, key: ObjectKey) -> Resource:
         lock = self._write_locks.get(key)
@@ -129,9 +137,14 @@ class RadosCluster:
         self.nodes[name] = node
         for _ in range(num_osds):
             osd_id = self.cluster_map.add_osd(name, rack=rack)
-            self.osds[osd_id] = OSD(
+            osd = OSD(
                 self.sim, osd_id, node, self.cluster_map.osds[osd_id], self.profile
             )
+            # An attached fault injector only wires the OSDs that exist
+            # at attach time; hosts added online inherit the hook here
+            # (getattr: __init__ builds the seed hosts before .faults).
+            osd.faults = getattr(self, "faults", None)
+            self.osds[osd_id] = osd
         return node
 
     def client(self, name: str) -> Client:
@@ -168,8 +181,32 @@ class RadosCluster:
 
     # -- acting-set helpers ---------------------------------------------------
 
+    def _remap_for(self, pool: Pool, pg: int) -> Optional["PgRemap"]:
+        """The active remap covering ``(pool, pg)``, if any."""
+        if not self._active_remaps:
+            return None
+        return self._active_remaps.get((pool.pool_id, pg))
+
     def _acting_osds(self, pool: Pool, oid: str) -> List[OSD]:
+        remap = self._remap_for(pool, pool.pg_of(oid))
+        if remap is not None:
+            # Mid-remap, data may sit on the old acting set, the new
+            # one, or both: IO runs against the union (old first, so
+            # established copies keep serving) until the rebalance
+            # engine retires the remap.
+            return [self.osds[i] for i in remap.union_ids() if i in self.osds]
         return [self.osds[i] for i in pool.acting_set_for(oid)]
+
+    def acting_osds(self, pool: Pool, oid: str) -> List[OSD]:
+        """Every OSD that may hold a copy of ``oid`` right now.
+
+        The CRUSH acting set — widened to the old+new union while the
+        object's PG is mid-remap.  Callers that locate copies by probing
+        stores (the dedup tier's holder loops, scrub, space accounting)
+        must use this rather than ``pool.acting_set_for`` directly, or
+        they would miss objects still parked on a pre-remap acting set.
+        """
+        return self._acting_osds(pool, oid)
 
     def _up_subset(self, osds: Iterable[OSD]) -> List[OSD]:
         # Replicas rejoining after a crash hold possibly-stale contents
@@ -182,6 +219,13 @@ class RadosCluster:
         up = self._up_subset(acting)
         if not up:
             raise NotEnoughReplicas(f"no up OSD for {oid!r} in pool {pool.name!r}")
+        if self._active_remaps and self._remap_for(pool, pool.pg_of(oid)) is not None:
+            # Prefer a member that actually holds the object: mid-remap
+            # the nominal first member may not have received it yet.
+            key = self.object_key(pool, oid)
+            holders = [o for o in up if o.store.exists(key)]
+            if holders:
+                return holders[0]
         return up[0]
 
     # -- network helper ---------------------------------------------------------
@@ -243,6 +287,10 @@ class RadosCluster:
                 yield from self._ec_submit(pool, oid, txn, client)
                 return
             client = client or self._default_client
+            remap = self._remap_for(pool, pool.pg_of(oid))
+            if remap is not None:
+                yield from self._submit_remapped(pool, oid, txn, client, s)
+                return
             acting = self._acting_osds(pool, oid)
             up = self._up_subset(acting)
             if len(up) < pool.redundancy.min_size:
@@ -318,6 +366,12 @@ class RadosCluster:
                     yield from self._ec_submit(pool, oid, txn, client)
                 return
             client = client or self._default_client
+            if self._active_remaps and any(
+                self._remap_for(pool, pool.pg_of(oid)) is not None
+                for oid, _ in items
+            ):
+                yield from self._submit_batch_remapped(pool, items, client, s)
+                return
             groups: Dict[int, List[Transaction]] = {}
             group_oids: Dict[int, str] = {}
             for oid, txn in items:
@@ -390,6 +444,135 @@ class RadosCluster:
         yield from replica.prepare_transaction(txn)
         if replica is not primary:
             yield from self._rpc_latency()  # replica ack to primary
+
+    # -- remapped (mid-rebalance) write path ----------------------------------
+
+    def _remap_write_targets(self, pool: Pool, oid: str) -> List[OSD]:
+        """Replicas a mid-remap write must land on.
+
+        Existing objects: exactly the up union members that *hold* the
+        object — writing to a non-holder would materialise a partial
+        copy (a zero-extended overwrite) that later migration could
+        mistake for the real thing.  The migrator updates holders and
+        trims old copies under the same per-object lock, so the holder
+        set can never change under an in-flight write.
+
+        New objects: every up union member, so a creation needs no
+        migration pass of its own (the rebalancer merely trims the
+        old-side copies when it retires the PG).
+        """
+        key = self.object_key(pool, oid)
+        up = self._up_subset(self._acting_osds(pool, oid))
+        holders = [o for o in up if o.store.exists(key)]
+        return holders if holders else up
+
+    def _submit_remapped(
+        self, pool: Pool, oid: str, txn: Transaction, client: Client, s
+    ):
+        """Process: :meth:`submit` for an object whose PG is mid-remap.
+
+        Same two-phase prepare/commit protocol, but the target set is
+        computed *inside* the per-object write lock (the rebalance
+        engine mutates holder sets under that lock), so the transfer to
+        the primary also happens locked.
+        """
+        key = self.object_key(pool, oid)
+        lock = self._write_lock(key)
+        yield lock.acquire()
+        try:
+            targets = self._remap_write_targets(pool, oid)
+            if len(targets) < pool.redundancy.min_size:
+                raise NotEnoughReplicas(
+                    f"{len(targets)} replicas reachable mid-remap for {oid!r}; "
+                    f"need {pool.redundancy.min_size}"
+                )
+            primary = targets[0]
+            payload = txn.io_bytes
+            s.tag(
+                osd=primary.osd_id, replicas=len(targets), nbytes=payload,
+                remapped=True,
+            )
+            yield from self._transfer(client.nic, primary.node.nic, payload)
+            jobs = [
+                self.sim.process(self._replica_prepare(primary, osd, txn, payload))
+                for osd in targets
+            ]
+            yield self.sim.all_of(jobs)
+            survivors = [osd for osd in targets if osd.up]
+            if len(survivors) < pool.redundancy.min_size:
+                raise NotEnoughReplicas(
+                    f"{len(survivors)}/{len(targets)} replicas survived prepare; "
+                    f"need {pool.redundancy.min_size}"
+                )
+            for osd in survivors:
+                osd.commit_transaction(txn)
+        finally:
+            lock.release()
+        yield from self._rpc_latency()  # ack to client
+
+    def _submit_batch_remapped(self, pool: Pool, items, client: Client, s):
+        """Process: :meth:`submit_batch` when any item's PG is mid-remap.
+
+        Keeps the batch-wide two-phase guarantee (no group commits until
+        every group prepared), but computes per-item target sets under
+        the sorted per-object locks instead of merging per PG — holder
+        sets differ per object mid-remap, so PG-level merging does not
+        apply.
+        """
+        s.tag(remapped=True)
+        locks = [
+            self._write_lock(key)
+            for key in sorted({self.object_key(pool, oid) for oid, _ in items})
+        ]
+        for lock in locks:
+            yield lock.acquire()
+        try:
+            plans = []  # (txn, targets)
+            for oid, txn in items:
+                remap = self._remap_for(pool, pool.pg_of(oid))
+                if remap is None:
+                    targets = self._up_subset(self._acting_osds(pool, oid))
+                else:
+                    targets = self._remap_write_targets(pool, oid)
+                if len(targets) < pool.redundancy.min_size:
+                    raise NotEnoughReplicas(
+                        f"{len(targets)} replicas reachable for {oid!r}; "
+                        f"need {pool.redundancy.min_size}"
+                    )
+                plans.append((txn, targets))
+            xfers = [
+                self.sim.process(
+                    self._transfer(client.nic, targets[0].node.nic, txn.io_bytes)
+                )
+                for txn, targets in plans
+            ]
+            yield self.sim.all_of(xfers)
+            jobs = []
+            for txn, targets in plans:
+                primary = targets[0]
+                for osd in targets:
+                    jobs.append(
+                        self.sim.process(
+                            self._replica_prepare(primary, osd, txn, txn.io_bytes)
+                        )
+                    )
+            yield self.sim.all_of(jobs)
+            # Batch-wide commit point (see submit_batch).
+            for txn, targets in plans:
+                survivors = [osd for osd in targets if osd.up]
+                if len(survivors) < pool.redundancy.min_size:
+                    raise NotEnoughReplicas(
+                        f"{len(survivors)}/{len(targets)} replicas survived "
+                        f"prepare; need {pool.redundancy.min_size}"
+                    )
+            for txn, targets in plans:
+                for osd in targets:
+                    if osd.up:
+                        osd.commit_transaction(txn)
+        finally:
+            for lock in reversed(locks):
+                lock.release()
+        yield from self._rpc_latency()  # ack to client
 
     def write_full(
         self,
@@ -542,7 +725,11 @@ class RadosCluster:
     # -- EC data path -------------------------------------------------------------
 
     def _ec_acting_for_write(self, pool: Pool, oid: str) -> List[Optional[OSD]]:
-        acting = self._acting_osds(pool, oid)
+        # Always the *strict* CRUSH acting set: shard index == slot
+        # position, so a mid-remap stripe write lands whole on the new
+        # acting set (the parked old shards are purged under the same
+        # lock — see _purge_parked_ec_copies).
+        acting = [self.osds[i] for i in pool.acting_set_for(oid)]
         up = [o if o.up else None for o in acting]
         if sum(o is not None for o in up) < pool.redundancy.min_size:
             raise NotEnoughReplicas(
@@ -559,6 +746,7 @@ class RadosCluster:
         yield lock.acquire()
         try:
             yield from self._ec_write_full_locked(pool, oid, data, client)
+            self._purge_parked_ec_copies(pool, oid, key)
         finally:
             lock.release()
         yield from self._rpc_latency()
@@ -627,13 +815,22 @@ class RadosCluster:
         holders = [o for o in acting if o.up and o.store.exists(key)]
         if not holders:
             raise NoSuchObject(key)
-        if len(holders) < pool.codec.k:
+        # Mid-remap the union can hold the same shard index twice (an
+        # old copy and its migrated twin): pick one holder per distinct
+        # index — union order is old-first, and writes purge parked old
+        # shards, so duplicates are always the same generation.
+        by_idx: Dict[int, OSD] = {}
+        for osd in holders:
+            idx = int(osd.store.getxattr(key, _EC_IDX_XATTR).decode("ascii"))
+            by_idx.setdefault(idx, osd)
+        if len(by_idx) < pool.codec.k:
             raise NotEnoughReplicas(
-                f"only {len(holders)} shards readable for {oid!r}; need {pool.codec.k}"
+                f"only {len(by_idx)} distinct shards readable for {oid!r}; "
+                f"need {pool.codec.k}"
             )
         primary = holders[0]
         length = int(primary.store.getxattr(key, _EC_LEN_XATTR).decode("ascii"))
-        chosen = holders[: pool.codec.k]
+        chosen = [by_idx[idx] for idx in sorted(by_idx)][: pool.codec.k]
         yield from self._rpc_latency()  # request fan-out
         jobs = [
             self.sim.process(self._ec_fetch_shard(primary, osd, key))
@@ -701,6 +898,7 @@ class RadosCluster:
                 omap=dict(obj.omap),
                 replace_metadata=True,
             )
+            self._purge_parked_ec_copies(pool, oid, key)
         finally:
             lock.release()
         yield from self._rpc_latency()
@@ -721,6 +919,27 @@ class RadosCluster:
                 )
         if jobs:
             yield self.sim.all_of(jobs)
+
+    def _purge_parked_ec_copies(self, pool: Pool, oid: str, key: ObjectKey) -> None:
+        """Drop shards parked outside the strict acting set (mid-remap).
+
+        A full-stripe write lands the whole new generation on the new
+        acting set, so any copy still sitting on an old-only union
+        member is stale the instant the stripe commits; dropping it here
+        (map-time, under the caller's write lock) keeps every reachable
+        shard the same generation — the invariant _ec_read's
+        distinct-index selection relies on.
+        """
+        remap = self._remap_for(pool, pool.pg_of(oid))
+        if remap is None:
+            return
+        acting_ids = set(pool.acting_set_for(oid))
+        for osd_id in remap.union_ids():
+            if osd_id in acting_ids:
+                continue
+            osd = self.osds.get(osd_id)
+            if osd is not None and osd.up and osd.store.exists(key):
+                osd.store.delete_object(key)
 
     def _ec_partial_write(self, pool: Pool, oid: str, offset: int, data: bytes, client):
         key = self.object_key(pool, oid)
@@ -753,8 +972,7 @@ class RadosCluster:
         total = 0
         for oid in self.list_objects(pool):
             key = self.object_key(pool, oid)
-            for osd_id in pool.acting_set_for(oid):
-                osd = self.osds[osd_id]
+            for osd in self._acting_osds(pool, oid):
                 if osd.store.exists(key):
                     if pool.is_ec:
                         total += int(
@@ -768,6 +986,127 @@ class RadosCluster:
     def total_used_bytes(self) -> int:
         """Raw bytes used across every OSD."""
         return sum(osd.store.used_bytes() for osd in self.osds.values())
+
+    # -- online elasticity ----------------------------------------------------
+
+    def snapshot_acting_sets(self) -> Dict[Tuple[int, int], List[int]]:
+        """(pool_id, pg) -> acting set under the current map.
+
+        Take one before a topology change; :func:`~repro.cluster.rebalance.compute_remap`
+        diffs it against the post-change map.
+        """
+        snap: Dict[Tuple[int, int], List[int]] = {}
+        for pool in self.pools.values():
+            for pg in range(pool.pg_num):
+                snap[(pool.pool_id, pg)] = list(pool.acting_set(pg))
+        return snap
+
+    def expand(self, name: str, num_osds: int, rack: str = "default") -> "RemapDiff":
+        """Add a host with ``num_osds`` OSDs *online*; returns the remap diff.
+
+        CRUSH immediately includes the new OSDs, moving a (minimal)
+        subset of PGs onto them.  Every moved PG becomes an active
+        remap: IO keeps flowing against the old+new union while a
+        :class:`~repro.cluster.rebalance.Rebalancer` migrates the data.
+        """
+        before = self.snapshot_acting_sets()
+        self.add_host(name, num_osds, rack=rack)
+        return self._register_topology_change(before)
+
+    def decommission_osd(self, osd_id: int) -> "RemapDiff":
+        """Take an OSD out of placement *online*; returns the remap diff.
+
+        The OSD keeps serving as a migration source (it is out, not
+        down); once every remap that references it has retired and its
+        store has drained, :meth:`finalize_decommission` removes it.
+        """
+        if osd_id not in self.osds:
+            raise KeyError(f"unknown osd.{osd_id}")
+        if not self.cluster_map.osds[osd_id].in_cluster:
+            raise ValueError(f"osd.{osd_id} is already out of placement")
+        before = self.snapshot_acting_sets()
+        self.cluster_map.mark_out(osd_id)
+        self.cluster_map.osds[osd_id].decommissioned = True
+        return self._register_topology_change(before)
+
+    def _register_topology_change(self, before: Dict[Tuple[int, int], List[int]]) -> "RemapDiff":
+        from .rebalance import compute_remap
+
+        diff = compute_remap(self, before)
+        for remap in diff.remaps:
+            prior = self._active_remaps.get((remap.pool_id, remap.pg))
+            if prior is not None:
+                # A second change landed while the PG was still mid-
+                # remap: widen the sources to the prior union, keep the
+                # newest destination (and the original degraded clock).
+                remap = remap.chained_from(prior)
+            self._active_remaps[(remap.pool_id, remap.pg)] = remap
+        return diff
+
+    def active_remaps(self) -> List["PgRemap"]:
+        """The PGs currently mid-remap, in deterministic order."""
+        return [self._active_remaps[k] for k in sorted(self._active_remaps)]
+
+    def complete_remap(self, pool_id: int, pg: int) -> None:
+        """Retire one PG's remap (the rebalancer verified it settled)."""
+        self._active_remaps.pop((pool_id, pg), None)
+
+    def retire_remaps(self) -> int:
+        """Drop remaps whose old-side members hold nothing any more.
+
+        When no union member outside the strict acting set holds any
+        object of the PG, the union view and the strict view are the
+        same, so serving from the strict map is safe.  Recovery calls
+        this after healing to the current map; returns the number
+        retired.
+        """
+        pools_by_id = {p.pool_id: p for p in self.pools.values()}
+        retired = 0
+        for (pool_id, pg), remap in sorted(self._active_remaps.items()):
+            pool = pools_by_id.get(pool_id)
+            if pool is None:
+                continue
+            acting_ids = set(pool.acting_set(pg))
+            parked = False
+            for osd_id in remap.union_ids():
+                if osd_id in acting_ids:
+                    continue
+                osd = self.osds.get(osd_id)
+                if osd is not None and osd.store.keys_in_pg(pool_id, pg):
+                    parked = True
+                    break
+            if not parked:
+                del self._active_remaps[(pool_id, pg)]
+                retired += 1
+        return retired
+
+    def finalize_decommission(self, osd_id: int) -> None:
+        """Remove a drained, decommissioned OSD from the cluster.
+
+        Requires the OSD to be out of placement, unreferenced by any
+        active remap, and empty — i.e. the rebalance actually finished.
+        """
+        osd = self.osds.get(osd_id)
+        if osd is None:
+            raise KeyError(f"unknown osd.{osd_id}")
+        if self.cluster_map.osds[osd_id].in_cluster:
+            raise ValueError(
+                f"osd.{osd_id} is still in placement; decommission it first"
+            )
+        for (_pool_id, pg), remap in sorted(self._active_remaps.items()):
+            if osd_id in remap.union_ids():
+                raise ValueError(
+                    f"osd.{osd_id} is still a migration source for pg {pg}"
+                )
+        leftover = len(list(osd.store.keys()))
+        if leftover:
+            raise ValueError(
+                f"osd.{osd_id} still holds {leftover} object(s); "
+                f"run the rebalance to completion first"
+            )
+        osd.node.osds.remove(osd)
+        del self.osds[osd_id]
+        self.cluster_map.remove_osd(osd_id)
 
     # -- failure injection ---------------------------------------------------------
 
@@ -787,11 +1126,25 @@ class RadosCluster:
         Matches the paper's Table 3 methodology ("removing and re-adding
         the OSD"): the rejoining OSD starts empty and recovery backfills
         it.
+
+        Like :meth:`restart_osd`, the OSD rejoins flagged
+        ``needs_backfill`` and only :func:`~repro.cluster.recovery.recover`
+        clears the flag (the single owner of that transition).  The
+        empty store cannot serve reads anyway, and — crucially — the
+        flag keeps the revived OSD from acting as a deletion *witness*:
+        an empty acting replica that recovery would otherwise read as
+        "this object was deleted while the stale holders were down",
+        deleting the last real copy.
         """
         self.osds[osd_id].store = type(self.osds[osd_id].store)()
-        self.osds[osd_id].needs_backfill = False
+        self.osds[osd_id].needs_backfill = True
         self.cluster_map.mark_up(osd_id)
-        self.cluster_map.mark_in(osd_id)
+        # Re-adding cancels an auto-out, but never a decommission: an
+        # administratively-out OSD stays out across daemon restarts
+        # (mark_in would silently undo the drain with no remap to move
+        # the data back).
+        if not self.cluster_map.osds[osd_id].decommissioned:
+            self.cluster_map.mark_in(osd_id)
 
     def restart_osd(self, osd_id: int) -> None:
         """Bring a crashed OSD back with its disk contents *intact*.
@@ -805,7 +1158,9 @@ class RadosCluster:
         """
         self.osds[osd_id].needs_backfill = True
         self.cluster_map.mark_up(osd_id)
-        self.cluster_map.mark_in(osd_id)
+        # See revive_osd: a decommissioned OSD stays out across restarts.
+        if not self.cluster_map.osds[osd_id].decommissioned:
+            self.cluster_map.mark_in(osd_id)
 
     # -- sync bridge -----------------------------------------------------------------
 

@@ -1,0 +1,612 @@
+"""Online cluster elasticity: remap diffs and the rebalance engine.
+
+When the topology changes — :meth:`RadosCluster.expand` adds a host,
+:meth:`RadosCluster.decommission_osd` marks an OSD out — CRUSH moves a
+(minimal) subset of placement groups to new acting sets.  This module
+owns everything between those two maps:
+
+* :func:`compute_remap` diffs the before/after acting sets into a
+  :class:`RemapDiff` of per-PG :class:`PgRemap` entries;
+* while a remap is *active*, the cluster serves reads and writes
+  against the **union** of the old and new locations (see
+  ``RadosCluster._remap_write_targets``), so clients never notice the
+  move;
+* :class:`Rebalancer` drains the remaps incrementally: object by
+  object, under the same per-object write lock the data path uses, it
+  copies replicas (or reconstructs EC shards) onto the new acting set,
+  trims the copies parked on the old one, and retires each PG's remap
+  once the new set fully holds it.
+
+The migration is *dedup-aware* by construction: chunk objects carry
+their reference counts in their own xattrs (the paper's self-contained
+metadata, §4.1), so moving the object moves the refcounts — there is no
+separate index to keep consistent.  It is also resumable and
+idempotent: every step compares content before copying, so a crash
+mid-migration simply leaves work for the next pass (or for
+:func:`~repro.cluster.recovery.recover`, which heals straight to the
+new map and retires any remaining remaps).
+
+Device costing reuses the recovery machinery: source disk reads,
+inter-host transfers and target pushes all charge simulated time, and
+an optional token-bucket rate limit paces migration traffic so the
+foreground workload keeps its throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..obs import NULL_SPAN
+from .objectstore import ObjectKey, StoredObject
+from .osd import OSD, OsdDownError, OsdFullError
+from .pool import Pool
+from .rados import (
+    NotEnoughReplicas,
+    RadosCluster,
+    _EC_CRC_XATTR,
+    _EC_IDX_XATTR,
+    _EC_LEN_XATTR,
+    _shard_crc,
+)
+from .recovery import _charge_shard_read, _same_content
+
+__all__ = [
+    "PgRemap",
+    "RemapDiff",
+    "RebalanceStats",
+    "Rebalancer",
+    "compute_remap",
+    "placement_report",
+    "rebalance_sync",
+]
+
+_EC_INTERNAL = (_EC_LEN_XATTR, _EC_IDX_XATTR, _EC_CRC_XATTR)
+
+#: Re-scan ceiling per PG per pass: each round either migrates or trims
+#: something, so this only guards against a pathological livelock.
+_MAX_ROUNDS = 64
+
+
+@dataclass(frozen=True)
+class PgRemap:
+    """One placement group's move from an old acting set to a new one.
+
+    While the remap is active the cluster reads and writes against the
+    union of ``old`` and ``new`` (old first, so established copies keep
+    serving); :meth:`Rebalancer` migrates the data and retires the
+    entry.
+    """
+
+    pool_id: int
+    pool_name: str
+    pg: int
+    old: Tuple[int, ...]
+    new: Tuple[int, ...]
+    #: Simulated time the remap was registered (start of the PG's
+    #: degraded window).
+    registered_at: float = 0.0
+
+    def union_ids(self) -> List[int]:
+        """Old + new acting OSDs, old first, without duplicates."""
+        return list(self.old) + [i for i in self.new if i not in self.old]
+
+    def chained_from(self, prior: "PgRemap") -> "PgRemap":
+        """Fold a newer topology change onto a still-active remap.
+
+        Sources accumulate (data may sit anywhere the prior union
+        reached) while the destination is always the latest map; the
+        degraded window keeps the *first* registration time.
+        """
+        return PgRemap(
+            pool_id=self.pool_id,
+            pool_name=self.pool_name,
+            pg=self.pg,
+            old=tuple(prior.union_ids()),
+            new=self.new,
+            registered_at=prior.registered_at,
+        )
+
+    def describe(self) -> str:
+        """One human-readable line for the diff listing."""
+        return (
+            f"pool {self.pool_name!r} pg {self.pg}:"
+            f" {list(self.old)} -> {list(self.new)}"
+        )
+
+
+@dataclass
+class RemapDiff:
+    """The PG movements one topology change implies."""
+
+    remaps: List[PgRemap] = field(default_factory=list)
+    #: Cluster-map epoch the new acting sets were computed at.
+    epoch: int = 0
+
+    @property
+    def pgs_remapped(self) -> int:
+        """Number of placement groups that must move."""
+        return len(self.remaps)
+
+    def describe(self) -> List[str]:
+        """Human-readable listing, one line per remapped PG."""
+        return [remap.describe() for remap in self.remaps]
+
+
+def compute_remap(
+    cluster: RadosCluster, before: Dict[Tuple[int, int], List[int]]
+) -> RemapDiff:
+    """Diff a :meth:`RadosCluster.snapshot_acting_sets` against the
+    current map; returns the PGs whose acting sets changed."""
+    diff = RemapDiff(epoch=cluster.cluster_map.epoch)
+    for pool in cluster.pools.values():
+        for pg in range(pool.pg_num):
+            old = before.get((pool.pool_id, pg), [])
+            new = pool.acting_set(pg)
+            if list(old) != list(new):
+                diff.remaps.append(
+                    PgRemap(
+                        pool_id=pool.pool_id,
+                        pool_name=pool.name,
+                        pg=pg,
+                        old=tuple(old),
+                        new=tuple(new),
+                        registered_at=cluster.sim.now,
+                    )
+                )
+    return diff
+
+
+@dataclass
+class RebalanceStats:
+    """Outcome of a rebalance run (the issue's migration metrics)."""
+
+    #: PG remaps retired by this rebalancer.
+    pgs_completed: int = 0
+    #: Replica copies / EC shards pushed onto new acting sets.
+    objects_moved: int = 0
+    #: Payload bytes pushed (the migration traffic the rate limit paces).
+    bytes_moved: int = 0
+    #: Copies deleted from old locations after the new set held them.
+    objects_trimmed: int = 0
+    #: Migrations abandoned mid-flight (device died / quorum lost); the
+    #: PG stays active and a later pass resumes it.
+    tasks_failed: int = 0
+    #: Full scan passes over the active remaps.
+    passes: int = 0
+    #: Longest observed per-PG degraded window (registration of the
+    #: remap to its retirement), in simulated seconds.
+    degraded_seconds: float = 0.0
+    #: Migration bytes broken down by pool name.
+    bytes_by_pool: Dict[str, int] = field(default_factory=dict)
+    started_at: float = 0.0
+    finished_at: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        """Simulated seconds the rebalance spent."""
+        return self.finished_at - self.started_at
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable counter dump (CLI output)."""
+        by_pool = ", ".join(
+            f"{name}: {nbytes / 1024:.0f}KiB"
+            for name, nbytes in sorted(self.bytes_by_pool.items())
+        )
+        return [
+            f"PGs completed      {self.pgs_completed}"
+            f" in {self.passes} pass(es)",
+            f"copies moved       {self.objects_moved}"
+            f" ({self.bytes_moved / 1024:.0f} KiB"
+            + (f"; {by_pool}" if by_pool else "")
+            + ")",
+            f"old copies trimmed {self.objects_trimmed}",
+            f"tasks failed       {self.tasks_failed}",
+            f"degraded window    {self.degraded_seconds:.3f}s (longest PG)",
+        ]
+
+
+class Rebalancer:
+    """Incremental, rate-limited migration engine for active remaps.
+
+    Drives each active :class:`PgRemap` to completion: per object,
+    under the object's write lock, ensure every (up) member of the new
+    acting set holds an identical copy/its shard, then trim the copies
+    parked on old-only members, and finally retire the PG's remap.
+    Safe to run while the workload is live — reads and writes keep
+    using the union view until the remap retires — and safe to re-run
+    after a crash: already-migrated objects are detected by content and
+    skipped.
+
+    Parameters
+    ----------
+    cluster:
+        The substrate whose ``_active_remaps`` to drain.
+    rate_limit_bps:
+        Optional migration budget in bytes per simulated second; after
+        each copy the engine sleeps ``nbytes / rate`` so foreground I/O
+        keeps its share of the devices.  ``None`` migrates flat out.
+    """
+
+    def __init__(
+        self,
+        cluster: RadosCluster,
+        rate_limit_bps: Optional[float] = None,
+    ):
+        if rate_limit_bps is not None and rate_limit_bps <= 0:
+            raise ValueError(f"rate_limit_bps must be positive, got {rate_limit_bps}")
+        self.cluster = cluster
+        self.rate_limit_bps = rate_limit_bps
+        self.stats = RebalanceStats()
+
+    # -- driving --------------------------------------------------------------
+
+    def run(self, span=NULL_SPAN):
+        """Process: one pass over every active remap; returns stats.
+
+        PGs whose migration hits a fault (source died, quorum lost)
+        stay active for a later pass; everything else completes and
+        retires.
+        """
+        sim = self.cluster.sim
+        if self.stats.passes == 0:
+            self.stats.started_at = sim.now
+        self.stats.passes += 1
+        with span.child(
+            "rebalance.pass", n=self.stats.passes,
+            remaps=len(self.cluster._active_remaps),
+        ) as pass_span:
+            keys = sorted(self.cluster._active_remaps)
+            pools_by_id = {p.pool_id: p for p in self.cluster.pools.values()}
+            for pool_id, pg in keys:
+                remap = self.cluster._active_remaps.get((pool_id, pg))
+                if remap is None:  # retired concurrently (e.g. by recovery)
+                    continue
+                pool = pools_by_id[pool_id]
+                with pass_span.child(
+                    "rebalance.pg", pool=remap.pool_name, pg=pg
+                ) as pg_span:
+                    complete = yield from self._migrate_pg(pool, pg, remap, pg_span)
+                    pg_span.tag(complete=complete)
+                if complete:
+                    self.cluster.complete_remap(pool_id, pg)
+                    self.stats.pgs_completed += 1
+                    self.stats.degraded_seconds = max(
+                        self.stats.degraded_seconds, sim.now - remap.registered_at
+                    )
+        self.stats.finished_at = sim.now
+        return self.stats
+
+    def run_to_completion(self, span=NULL_SPAN, max_passes: int = 16, settle: float = 0.1):
+        """Process: run passes until no remap stays active.
+
+        Between passes (a PG can stay active when a device involved is
+        down or faulting) the engine backs off ``settle`` simulated
+        seconds.  Gives up after ``max_passes`` — a final
+        :func:`~repro.cluster.recovery.recover` can always finish the
+        job, since recovery heals straight to the new map.
+        """
+        for _ in range(max_passes):
+            yield from self.run(span=span)
+            if not self.cluster._active_remaps:
+                break
+            with span.child("rebalance.settle", seconds=settle):
+                yield self.cluster.sim.timeout(settle)
+        return self.stats
+
+    # -- per-PG migration ------------------------------------------------------
+
+    def _migrate_pg(self, pool: Pool, pg: int, remap: PgRemap, span):
+        """Process: migrate one PG; returns True when fully settled."""
+        for _ in range(_MAX_ROUNDS):
+            pending = self._pending_objects(pool, pg, remap)
+            if not pending:
+                return True
+            progressed = False
+            failed = False
+            for name in pending:
+                try:
+                    moved = yield from self._migrate_object(
+                        pool, pg, name, remap, span
+                    )
+                    progressed = progressed or moved
+                except (OsdDownError, OsdFullError, NotEnoughReplicas):
+                    self.stats.tasks_failed += 1
+                    failed = True
+                except Exception as exc:
+                    if not getattr(exc, "retryable", False):
+                        raise
+                    self.stats.tasks_failed += 1
+                    failed = True
+            if failed or not progressed:
+                return False
+        return False
+
+    def _pending_objects(self, pool: Pool, pg: int, remap: PgRemap) -> List[str]:
+        """Objects in this PG not yet settled on the new acting set.
+
+        Enumerates every union member's store — including *down* OSDs,
+        whose unreachable copies must keep the PG active (completing
+        the remap while the only copy sits on a dead disk would orphan
+        it)."""
+        names = set()
+        for osd_id in remap.union_ids():
+            osd = self.cluster.osds.get(osd_id)
+            if osd is None:
+                continue
+            for key in osd.store.keys_in_pg(pool.pool_id, pg):
+                names.add(key.name)
+        return sorted(n for n in names if not self._settled(pool, pg, n, remap))
+
+    def _settled(self, pool: Pool, pg: int, name: str, remap: PgRemap) -> bool:
+        """Map-time check: does the new acting set fully own the object?"""
+        cluster = self.cluster
+        key = ObjectKey(pool.pool_id, pg, name)
+        union = [
+            cluster.osds[i] for i in remap.union_ids() if i in cluster.osds
+        ]
+        up_holders = [o for o in union if o.up and o.store.exists(key)]
+        down_holders = [o for o in union if not o.up and o.store.exists(key)]
+        if not up_holders:
+            # Either deleted everywhere, or only unreachable copies
+            # remain — the latter must keep the PG active until the
+            # holder restarts (recovery then reconciles or trims it).
+            return not down_holders
+        new_ids = set(remap.new)
+        if any(o.up and o.store.exists(key) for o in union if o.osd_id not in new_ids):
+            return False  # a live parked copy still needs trimming
+        new_targets = [cluster.osds[i] for i in remap.new if i in cluster.osds]
+        if any(not o.up for o in new_targets):
+            return False  # cannot vouch for a down target's copy
+        if not all(o.store.exists(key) for o in new_targets):
+            return False
+        if pool.is_ec:
+            for idx, osd in enumerate(new_targets):
+                have = int(
+                    osd.store.getxattr(key, _EC_IDX_XATTR).decode("ascii")
+                )
+                if have != idx:
+                    return False
+            return True
+        first = new_targets[0].store.get(key)
+        return all(
+            _same_content(first, o.store.get(key)) for o in new_targets[1:]
+        )
+
+    # -- per-object migration --------------------------------------------------
+
+    def _migrate_object(self, pool: Pool, pg: int, name: str, remap: PgRemap, span):
+        """Process: settle one object onto the new acting set.
+
+        Runs under the object's write lock — the same lock the data
+        path takes — so a migration never interleaves with a client
+        write and copies can never diverge.  Returns True when any
+        copy moved or was trimmed (progress tracking).
+        """
+        cluster = self.cluster
+        key = ObjectKey(pool.pool_id, pg, name)
+        lock = cluster._write_lock(key)
+        yield lock.acquire()
+        try:
+            if pool.is_ec:
+                moved = yield from self._migrate_ec_locked(pool, key, remap, span)
+            else:
+                moved = yield from self._migrate_replicated_locked(
+                    pool, key, remap, span
+                )
+        finally:
+            lock.release()
+        return moved
+
+    def _union_holders(self, key: ObjectKey, remap: PgRemap):
+        cluster = self.cluster
+        union = [
+            cluster.osds[i] for i in remap.union_ids() if i in cluster.osds
+        ]
+        up_holders = [o for o in union if o.up and o.store.exists(key)]
+        down_holders = [o for o in union if not o.up and o.store.exists(key)]
+        # Continuously-up copies are authoritative; a restarted
+        # (needs_backfill) holder may carry stale bytes.
+        ordered = [o for o in up_holders if not o.needs_backfill] + [
+            o for o in up_holders if o.needs_backfill
+        ]
+        return union, ordered, down_holders
+
+    def _migrate_replicated_locked(self, pool: Pool, key: ObjectKey, remap: PgRemap, span):
+        cluster = self.cluster
+        union, holders, down_holders = self._union_holders(key, remap)
+        if not holders:
+            if down_holders:
+                raise OsdDownError(down_holders[0].osd_id)
+            return False  # deleted while we scanned
+        source = holders[0]
+        new_targets = [cluster.osds[i] for i in remap.new]
+        for target in new_targets:
+            if not target.up:
+                raise OsdDownError(target.osd_id)
+        moved = False
+        for target in new_targets:
+            if target is source:
+                continue
+            if target.store.exists(key) and _same_content(
+                target.store.get(key), source.store.get(key)
+            ):
+                continue  # idempotent resume: this copy already landed
+            obj = source.store.get(key).clone()
+            nbytes = obj.footprint()
+            with span.child(
+                "rebalance.copy", src=source.osd_id, dst=target.osd_id, nbytes=nbytes
+            ):
+                source.op_reads += 1
+                yield from source.disk.read(max(nbytes, 1))
+                if source.node is not target.node:
+                    yield from cluster._transfer(
+                        source.node.nic, target.node.nic, nbytes
+                    )
+                yield from target.execute_push(key, obj)
+            self._account(pool, nbytes)
+            moved = True
+            yield from self._throttle(nbytes, span)
+        moved = self._trim_parked(key, union, remap) or moved
+        return moved
+
+    def _migrate_ec_locked(self, pool: Pool, key: ObjectKey, remap: PgRemap, span):
+        cluster = self.cluster
+        union, holders, down_holders = self._union_holders(key, remap)
+        if not holders:
+            if down_holders:
+                raise OsdDownError(down_holders[0].osd_id)
+            return False
+        by_idx: Dict[int, Tuple[OSD, bytes]] = {}
+        for osd in holders:
+            idx = int(osd.store.getxattr(key, _EC_IDX_XATTR).decode("ascii"))
+            by_idx.setdefault(idx, (osd, osd.store.read(key)))
+        if len(by_idx) < pool.codec.k:
+            raise NotEnoughReplicas(
+                f"only {len(by_idx)} distinct shards reachable for {key.name!r};"
+                f" need {pool.codec.k}"
+            )
+        length = int(
+            holders[0].store.getxattr(key, _EC_LEN_XATTR).decode("ascii")
+        )
+        src_obj = holders[0].store.get(key)
+        user_xattrs = {
+            n: v for n, v in src_obj.xattrs.items() if n not in _EC_INTERNAL
+        }
+        omap = dict(src_obj.omap)
+        new_targets = [cluster.osds[i] for i in remap.new]
+        for target in new_targets:
+            if not target.up:
+                raise OsdDownError(target.osd_id)
+        sources = sorted(by_idx.items())[: pool.codec.k]
+        slots: List[Optional[bytes]] = [None] * pool.codec.n
+        for idx, (_osd, shard) in sources:
+            slots[idx] = shard
+        moved = False
+        for idx, target in enumerate(new_targets):
+            shard = pool.codec.reconstruct_shard(slots, idx, length)
+            want = StoredObject(
+                data=bytearray(shard),
+                xattrs={
+                    **user_xattrs,
+                    _EC_LEN_XATTR: str(length).encode("ascii"),
+                    _EC_IDX_XATTR: str(idx).encode("ascii"),
+                    _EC_CRC_XATTR: _shard_crc(shard),
+                },
+                omap=dict(omap),
+            )
+            if target.store.exists(key) and _same_content(
+                target.store.get(key), want
+            ):
+                continue  # idempotent resume
+            with span.child(
+                "rebalance.reconstruct", dst=target.osd_id, idx=idx, nbytes=len(shard)
+            ):
+                reads = [
+                    cluster.sim.process(
+                        _charge_shard_read(cluster, holder, target, len(src_shard))
+                    )
+                    for _i, (holder, src_shard) in sources
+                ]
+                yield cluster.sim.all_of(reads)
+                yield from target.node.cpu.execute(
+                    target.node.cpu.spec.ec_time(length)
+                )
+                yield from target.execute_push(key, want)
+            self._account(pool, len(shard))
+            moved = True
+            yield from self._throttle(len(shard), span)
+        moved = self._trim_parked(key, union, remap) or moved
+        return moved
+
+    def _trim_parked(self, key: ObjectKey, union: List[OSD], remap: PgRemap) -> bool:
+        """Delete up old-only copies now the new acting set holds the
+        object (map-time, under the caller's write lock)."""
+        new_ids = set(remap.new)
+        trimmed = False
+        for osd in union:
+            if osd.osd_id in new_ids:
+                continue
+            if osd.up and osd.store.exists(key):
+                osd.store.delete_object(key)
+                self.stats.objects_trimmed += 1
+                trimmed = True
+        return trimmed
+
+    # -- costing helpers -------------------------------------------------------
+
+    def _account(self, pool: Pool, nbytes: int) -> None:
+        self.stats.objects_moved += 1
+        self.stats.bytes_moved += nbytes
+        self.stats.bytes_by_pool[pool.name] = (
+            self.stats.bytes_by_pool.get(pool.name, 0) + nbytes
+        )
+
+    def _throttle(self, nbytes: int, span):
+        """Process: pace migration traffic to the configured rate."""
+        if not self.rate_limit_bps:
+            return
+        with span.child("rebalance.throttle", nbytes=nbytes):
+            yield self.cluster.sim.timeout(nbytes / self.rate_limit_bps)
+
+
+def placement_report(cluster: RadosCluster) -> List[str]:
+    """Map-time placement audit; returns violations ([] means clean).
+
+    Clean means CRUSH-clean: every object's copies sit exactly on the
+    up members of its *current* acting set (no parked copies, no
+    missing replicas), replicated copies are byte-identical, and EC
+    shards carry the index their slot demands.
+    """
+    problems: List[str] = []
+    for pool in cluster.pools.values():
+        for name in cluster.list_objects(pool):
+            key = cluster.object_key(pool, name)
+            acting_ids = pool.acting_set_for(name)
+            acting = [cluster.osds[i] for i in acting_ids]
+            holders = sorted(
+                osd.osd_id
+                for osd in cluster.osds.values()
+                if osd.store.exists(key)
+            )
+            expect = sorted(o.osd_id for o in acting if o.up)
+            if holders != expect:
+                problems.append(
+                    f"{pool.name}/{name}: copies on {holders},"
+                    f" expected up acting {expect}"
+                )
+                continue
+            up_acting = [o for o in acting if o.up]
+            if not up_acting:
+                continue
+            if pool.is_ec:
+                for idx, osd in enumerate(acting):
+                    if not osd.up:
+                        continue
+                    have = int(
+                        osd.store.getxattr(key, _EC_IDX_XATTR).decode("ascii")
+                    )
+                    if have != idx:
+                        problems.append(
+                            f"{pool.name}/{name}: osd.{osd.osd_id} holds"
+                            f" shard {have}, slot demands {idx}"
+                        )
+            else:
+                first = up_acting[0].store.get(key)
+                for osd in up_acting[1:]:
+                    if not _same_content(first, osd.store.get(key)):
+                        problems.append(
+                            f"{pool.name}/{name}: osd.{osd.osd_id} copy"
+                            f" diverges from osd.{up_acting[0].osd_id}"
+                        )
+    return problems
+
+
+def rebalance_sync(
+    cluster: RadosCluster,
+    rate_limit_bps: Optional[float] = None,
+    max_passes: int = 16,
+) -> RebalanceStats:
+    """Synchronous :class:`Rebalancer` run-to-completion helper."""
+    engine = Rebalancer(cluster, rate_limit_bps=rate_limit_bps)
+    return cluster.run(engine.run_to_completion(max_passes=max_passes))

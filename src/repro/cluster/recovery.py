@@ -21,7 +21,13 @@ from typing import Dict, List, Optional, Set, Tuple
 from .objectstore import ObjectKey, StoredObject
 from .osd import OSD, OsdDownError, OsdFullError
 from .pool import Pool
-from .rados import RadosCluster, _EC_IDX_XATTR, _EC_LEN_XATTR
+from .rados import (
+    RadosCluster,
+    _EC_CRC_XATTR,
+    _EC_IDX_XATTR,
+    _EC_LEN_XATTR,
+    _shard_crc,
+)
 
 __all__ = ["RecoveryStats", "plan_recovery", "recover", "recover_sync"]
 
@@ -66,6 +72,12 @@ class _CopyTask:
     #: plan is computed at a single simulated instant, so the snapshot
     #: is consistent).
     ec_sources: List[Tuple[int, OSD, bytes]] = field(default_factory=list)
+    #: User-level metadata snapshotted alongside the shards: every EC
+    #: shard duplicates the object's xattrs/omap (that is what makes
+    #: dedup refcounts self-contained), so a reconstructed shard must
+    #: carry them too or the object's metadata is silently lost.
+    ec_xattrs: Dict[str, bytes] = field(default_factory=dict)
+    ec_omap: Dict[str, bytes] = field(default_factory=dict)
 
 
 def _same_content(a: StoredObject, b: StoredObject) -> bool:
@@ -140,11 +152,14 @@ def plan_recovery(cluster: RadosCluster) -> Tuple[List[_CopyTask], List[Tuple[OS
                     if len(by_idx) < pool.codec.k:
                         lost += 1
                         continue
-                    length = int(
-                        (clean_holders or holders)[0]
-                        .store.getxattr(key, _EC_LEN_XATTR)
-                        .decode("ascii")
-                    )
+                    meta_src = (clean_holders or holders)[0].store.get(key)
+                    length = int(meta_src.xattrs[_EC_LEN_XATTR].decode("ascii"))
+                    ec_xattrs = {
+                        n: v
+                        for n, v in meta_src.xattrs.items()
+                        if n not in (_EC_LEN_XATTR, _EC_IDX_XATTR, _EC_CRC_XATTR)
+                    }
+                    ec_omap = dict(meta_src.omap)
                     sources = [
                         (idx, osd, shard)
                         for idx, (osd, shard) in sorted(by_idx.items())
@@ -172,6 +187,8 @@ def plan_recovery(cluster: RadosCluster) -> Tuple[List[_CopyTask], List[Tuple[OS
                                 ec_index=idx,
                                 ec_length=length,
                                 ec_sources=sources,
+                                ec_xattrs=ec_xattrs,
+                                ec_omap=ec_omap,
                             )
                         )
                 else:
@@ -223,15 +240,50 @@ def recover(cluster: RadosCluster, stats: Optional[RecoveryStats] = None):
     if jobs:
         yield cluster.sim.all_of(jobs)
     for osd, key in deletions:
-        if osd.store.exists(key):
-            osd.store.delete_object(key)
-            stats.objects_deleted += 1
+        if not osd.store.exists(key):
+            continue
+        if not _safe_to_delete(cluster, osd, key, stats):
+            # A copy task feeding this deletion failed (target died
+            # mid-push): deleting now could drop the last real copy.
+            # Keep it; the next recovery pass re-plans both sides.
+            continue
+        osd.store.delete_object(key)
+        stats.objects_deleted += 1
     if stats.tasks_failed == 0:
         for osd in cluster.osds.values():
             if osd.up and osd.needs_backfill:
                 osd.needs_backfill = False
+    # PGs healed straight to the current map no longer need their
+    # old+new union view; drop any remap whose old side has drained.
+    cluster.retire_remaps()
     stats.finished_at = cluster.sim.now
     return stats
+
+
+def _safe_to_delete(
+    cluster: RadosCluster, osd: OSD, key: ObjectKey, stats: RecoveryStats
+) -> bool:
+    """Re-derive, at execution time, that dropping this copy is safe.
+
+    The deletion was planned before the copy tasks ran; if tasks failed
+    the acting set may not actually own the object yet.  Safe when the
+    clean up acting replicas hold at least ``min_size`` copies/shards
+    (the acting set owns it), or — the deleted-while-down case — when
+    clean acting witnesses exist, none holds it, and no task failed.
+    """
+    pool = next(
+        p for p in cluster.pools.values() if p.pool_id == key.pool_id
+    )
+    acting = [cluster.osds[i] for i in pool.acting_set(key.pg)]
+    clean = [
+        o for o in acting if o.up and not o.needs_backfill and o is not osd
+    ]
+    holders = [o for o in clean if o.store.exists(key)]
+    if len(holders) >= pool.redundancy.min_size:
+        return True
+    if not holders:
+        return bool(clean) and stats.tasks_failed == 0
+    return False
 
 
 def _run_task(cluster: RadosCluster, task: _CopyTask, stats: RecoveryStats):
@@ -240,7 +292,17 @@ def _run_task(cluster: RadosCluster, task: _CopyTask, stats: RecoveryStats):
     A source or target dying (or an injected transient error / full
     OSD) abandons this task only — the rest of the recovery proceeds,
     and the next pass re-plans whatever is still missing.
+
+    While any PG is mid-remap the task runs under the object's write
+    lock: a concurrent rebalance pass (or a client write routed through
+    the union view) mutates holder sets under that lock, and an
+    unlocked recovery push could interleave with it.  With no remaps
+    active nothing else races recovery, so the lock is skipped and the
+    legacy task parallelism (and its device timing) is preserved.
     """
+    lock = cluster._write_lock(task.key) if cluster._active_remaps else None
+    if lock is not None:
+        yield lock.acquire()
     try:
         if task.ec_pool is None:
             yield from _copy_object(cluster, task, stats)
@@ -252,6 +314,9 @@ def _run_task(cluster: RadosCluster, task: _CopyTask, stats: RecoveryStats):
         if not getattr(exc, "retryable", False):
             raise
         stats.tasks_failed += 1
+    finally:
+        if lock is not None:
+            lock.release()
 
 
 def _charge_shard_read(cluster: RadosCluster, holder: OSD, target: OSD, nbytes: int):
@@ -295,15 +360,15 @@ def _reconstruct_shard(cluster: RadosCluster, task: _CopyTask, stats: RecoverySt
     yield cluster.sim.all_of(reads)
     yield from target.node.cpu.execute(target.node.cpu.spec.ec_time(length))
     shard = pool.codec.reconstruct_shard(slots, idx, length)
-    from .rados import _EC_CRC_XATTR, _shard_crc
-
     obj = StoredObject(
         data=bytearray(shard),
         xattrs={
+            **task.ec_xattrs,
             _EC_LEN_XATTR: str(length).encode("ascii"),
             _EC_IDX_XATTR: str(idx).encode("ascii"),
             _EC_CRC_XATTR: _shard_crc(shard),
         },
+        omap=dict(task.ec_omap),
     )
     yield from target.execute_push(key, obj)
     if task.reconcile:

@@ -119,17 +119,18 @@ def analyze_dedup_potential(
     chunker = StaticChunker(chunk_size)
     for oid in cluster.list_objects(pool):
         key = cluster.object_key(pool, oid)
-        primary_id = next(
+        primary = next(
             (
-                osd_id
-                for osd_id in pool.acting_set_for(oid)
-                if cluster.osds[osd_id].store.exists(key)
+                osd
+                for osd in cluster.acting_osds(pool, oid)
+                if osd.store.exists(key)
             ),
             None,
         )
-        if primary_id is None:
+        if primary is None:
             continue
-        data = bytes(cluster.osds[primary_id].store.get(key).data)
+        data = bytes(primary.store.get(key).data)
+        primary_id = primary.osd_id
         result.total_bytes += len(data)
         result.per_osd_total[primary_id] = (
             result.per_osd_total.get(primary_id, 0) + len(data)

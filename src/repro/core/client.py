@@ -101,6 +101,63 @@ class DedupedStorage:
         self.faults = injector
         return injector
 
+    # -- online elasticity -----------------------------------------------------
+
+    def expand(self, name: str, num_osds: int, rack: str = "default"):
+        """Add a host online; returns the PG remap diff.
+
+        Reads and writes keep flowing while the moved PGs are served
+        from the old+new union; run :meth:`rebalance` to migrate the
+        data and retire the remaps.
+        """
+        return self.cluster.expand(name, num_osds, rack=rack)
+
+    def decommission_osd(self, osd_id: int):
+        """Take one OSD out of placement online; returns the remap diff.
+
+        Follow with :meth:`rebalance` (drains it), then
+        ``cluster.finalize_decommission(osd_id)`` to drop it entirely.
+        """
+        return self.cluster.decommission_osd(osd_id)
+
+    def rebalance(self, rate_limit_bps=None, span=None, max_passes: int = 16):
+        """Process: migrate all remapped PGs; returns RebalanceStats.
+
+        Dedup-aware by construction: chunk objects carry their refcount
+        metadata in their own xattrs, so migrating the object migrates
+        the refcounts.  Safe to run concurrently with the workload
+        (everything happens under the per-object write locks) and
+        resumable after a crash — re-running skips already-settled
+        objects.
+        """
+        from ..cluster import Rebalancer
+
+        engine = Rebalancer(self.cluster, rate_limit_bps=rate_limit_bps)
+        if span is not None:
+            stats = yield from engine.run_to_completion(
+                span=span, max_passes=max_passes
+            )
+            return stats
+        root = self.tracer.root_span("op.rebalance")
+        try:
+            stats = yield from engine.run_to_completion(
+                span=root, max_passes=max_passes
+            )
+            root.tag(
+                pgs=stats.pgs_completed,
+                moved=stats.objects_moved,
+                nbytes=stats.bytes_moved,
+            )
+        finally:
+            root.finish()
+        return stats
+
+    def rebalance_sync(self, rate_limit_bps=None, max_passes: int = 16):
+        """Synchronous :meth:`rebalance`."""
+        return self.cluster.run(
+            self.rebalance(rate_limit_bps=rate_limit_bps, max_passes=max_passes)
+        )
+
     # -- async API (simulation processes) ------------------------------------
 
     def write(self, oid: str, data: bytes, offset: int = 0, client=None):

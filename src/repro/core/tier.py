@@ -325,8 +325,9 @@ class DedupTier:
         """Read the chunk map without charging simulated time (tests,
         accounting, planning)."""
         key = self.metadata_key(oid)
-        for osd_id in self.metadata_pool.acting_set_for(oid):
-            osd = self.cluster.osds[osd_id]
+        # acting_osds (not acting_set_for): mid-rebalance the object may
+        # still be parked on its pre-remap acting set.
+        for osd in self.cluster.acting_osds(self.metadata_pool, oid):
             if osd.up and osd.store.exists(key):
                 blob = osd.store.get(key).xattrs.get(CHUNK_MAP_XATTR)
                 return ChunkMap.deserialize(blob) if blob else None
@@ -451,8 +452,10 @@ class DedupTier:
             return cached
         self.stage.refset_cache_misses += 1
         key = self.cluster.object_key(self.chunk_pool, chunk_id)
-        for osd_id in self.chunk_pool.acting_set_for(chunk_id):
-            osd = self.cluster.osds[osd_id]
+        # acting_osds: a chunk mid-migration (and its self-contained
+        # refcounts) may only exist on the old acting set — reading the
+        # strict set here would return an empty RefSet and break REF001.
+        for osd in self.cluster.acting_osds(self.chunk_pool, chunk_id):
             if osd.up and osd.store.exists(key):
                 blob = osd.store.get(key).xattrs.get(REFS_XATTR, b"")
                 refs = RefSet.deserialize(blob)
@@ -740,8 +743,7 @@ class DedupTier:
 
     def _chunk_encoding(self, chunk_id: str) -> bytes:
         key = self.cluster.object_key(self.chunk_pool, chunk_id)
-        for osd_id in self.chunk_pool.acting_set_for(chunk_id):
-            osd = self.cluster.osds[osd_id]
+        for osd in self.cluster.acting_osds(self.chunk_pool, chunk_id):
             if osd.up and osd.store.exists(key):
                 return osd.store.get(key).xattrs.get(CHUNK_ENCODING_XATTR, b"raw")
         return b"raw"
@@ -758,8 +760,7 @@ class DedupTier:
         cluster = self.cluster
         for oid in cluster.list_objects(self.metadata_pool):
             key = self.metadata_key(oid)
-            for osd_id in self.metadata_pool.acting_set_for(oid):
-                osd = cluster.osds[osd_id]
+            for osd in cluster.acting_osds(self.metadata_pool, oid):
                 if osd.store.exists(key):
                     obj = osd.store.get(key)
                     cmap_blob = obj.xattrs.get(CHUNK_MAP_XATTR, b"")
@@ -780,8 +781,7 @@ class DedupTier:
                     break
         for cid in cluster.list_objects(self.chunk_pool):
             key = cluster.object_key(self.chunk_pool, cid)
-            for osd_id in self.chunk_pool.acting_set_for(cid):
-                osd = cluster.osds[osd_id]
+            for osd in cluster.acting_osds(self.chunk_pool, cid):
                 if osd.store.exists(key):
                     obj = osd.store.get(key)
                     report.chunk_objects += 1

@@ -17,6 +17,7 @@ free.  This package exists to *test* that claim on demand:
 See ``docs/faults.md`` for the fault model and knobs.
 """
 
+from .elastic import ElasticityResult, run_elastic_workload
 from .errors import (
     FaultError,
     NetworkPartitionError,
@@ -45,4 +46,6 @@ __all__ = [
     "call_with_retries",
     "ScenarioResult",
     "run_faulted_workload",
+    "ElasticityResult",
+    "run_elastic_workload",
 ]

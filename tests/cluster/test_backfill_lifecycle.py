@@ -1,0 +1,87 @@
+"""Tests for the single-owner ``needs_backfill`` lifecycle.
+
+Both rejoin paths (``restart_osd``: disk intact; ``revive_osd``: fresh
+disk) must flag the OSD ``needs_backfill``; only ``recover()`` clears
+the flag, and only after a fully successful pass.  The regression this
+pins down: a revived OSD that rejoined *unflagged* looked like a clean
+acting replica with no data, which recovery's deletion planner could
+read as a deletion witness — "the object is gone from a healthy acting
+holder, so the stale copies elsewhere must be tombstones" — deleting the
+last real copy of an object that was merely waiting for backfill.
+"""
+
+from repro.cluster import RadosCluster, Replicated, recover_sync
+
+
+def fill(cluster, pool, n=20, size=4096):
+    for i in range(n):
+        cluster.write_full_sync(pool, f"obj{i}", bytes([i % 256]) * size)
+
+
+def test_restart_sets_flag_and_only_recover_clears_it():
+    cluster = RadosCluster(num_hosts=4, osds_per_host=2, pg_num=32)
+    pool = cluster.create_pool("data", Replicated(2))
+    fill(cluster, pool)
+    cluster.fail_osd(0, mark_out=False)
+    cluster.restart_osd(0)
+    assert cluster.osds[0].needs_backfill
+    recover_sync(cluster)
+    assert not cluster.osds[0].needs_backfill
+
+
+def test_revive_sets_flag_and_only_recover_clears_it():
+    cluster = RadosCluster(num_hosts=4, osds_per_host=2, pg_num=32)
+    pool = cluster.create_pool("data", Replicated(2))
+    fill(cluster, pool)
+    cluster.fail_osd(0)
+    recover_sync(cluster)
+    cluster.revive_osd(0)
+    assert cluster.osds[0].needs_backfill
+    recover_sync(cluster)
+    assert not cluster.osds[0].needs_backfill
+
+
+def test_revived_empty_osd_is_not_a_deletion_witness():
+    """The regression: fail an OSD out, recover (copies move to the new
+    acting set), then re-add it empty.  The acting sets flip back to
+    include the empty OSD, making every recovery copy a "stray" — and an
+    unflagged empty rejoiner would let the planner delete those strays
+    before backfill, losing data."""
+    cluster = RadosCluster(num_hosts=4, osds_per_host=2, pg_num=32)
+    pool = cluster.create_pool("data", Replicated(2))
+    fill(cluster, pool, n=30)
+    cluster.fail_osd(0)
+    recover_sync(cluster)
+    cluster.revive_osd(0)
+    assert len(cluster.osds[0].store) == 0
+    stats = recover_sync(cluster)
+    assert stats.objects_lost == 0
+    for i in range(30):
+        assert cluster.read_sync(pool, f"obj{i}") == bytes([i % 256]) * 4096
+    # Backfill completed: every acting holder (including OSD 0 where it
+    # acts) holds its copy.
+    for i in range(30):
+        key = cluster.object_key(pool, f"obj{i}")
+        for osd_id in pool.acting_set_for(f"obj{i}"):
+            assert cluster.osds[osd_id].store.exists(key)
+
+
+def test_failed_recovery_leaves_flag_set():
+    """A recovery pass that could not finish must NOT clear the flag —
+    clearing it would promote a half-backfilled OSD to a trusted
+    replica."""
+    cluster = RadosCluster(num_hosts=4, osds_per_host=2, pg_num=32)
+    pool = cluster.create_pool("data", Replicated(2))
+    fill(cluster, pool)
+    cluster.fail_osd(0, mark_out=False)
+    cluster.restart_osd(0)
+    # Take a source OSD down so some copy tasks fail mid-recovery.
+    cluster.fail_osd(3, mark_out=False)
+    stats = recover_sync(cluster)
+    if stats.tasks_failed:
+        assert cluster.osds[0].needs_backfill
+    cluster.restart_osd(3)
+    stats = recover_sync(cluster)
+    assert stats.tasks_failed == 0
+    assert not cluster.osds[0].needs_backfill
+    assert not cluster.osds[3].needs_backfill

@@ -1,0 +1,73 @@
+"""Meta-test: every CI job has a mirrored leg in scripts/ci_local.sh.
+
+The local runner exists so "CI is red" is always reproducible offline;
+it drifts the moment someone adds a workflow job without a local leg.
+Parsed with regexes on purpose — the test must run in the minimal test
+environment, which has no YAML parser installed.
+"""
+
+import re
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+WORKFLOW = REPO / ".github" / "workflows" / "ci.yml"
+LOCAL = REPO / "scripts" / "ci_local.sh"
+
+
+def workflow_jobs():
+    """Job ids in ci.yml: 2-space-indented keys under the jobs: block."""
+    jobs = []
+    in_jobs = False
+    for line in WORKFLOW.read_text(encoding="utf-8").splitlines():
+        if re.match(r"^jobs:\s*$", line):
+            in_jobs = True
+            continue
+        if in_jobs and re.match(r"^[A-Za-z_-]+:", line):
+            break  # left the jobs: block (a new top-level key)
+        match = re.match(r"^  ([A-Za-z0-9_-]+):\s*$", line)
+        if in_jobs and match:
+            jobs.append(match.group(1))
+    return jobs
+
+
+def local_legs():
+    """Mirrored legs in ci_local.sh: '# -- <job> job' section markers."""
+    return re.findall(
+        r"^# -- ([A-Za-z0-9_-]+) job",
+        LOCAL.read_text(encoding="utf-8"),
+        flags=re.MULTILINE,
+    )
+
+
+def test_files_exist():
+    assert WORKFLOW.is_file()
+    assert LOCAL.is_file()
+
+
+def test_parsers_found_something():
+    assert len(workflow_jobs()) >= 5
+    assert len(local_legs()) >= 5
+
+
+def test_every_workflow_job_has_a_local_leg():
+    missing = set(workflow_jobs()) - set(local_legs())
+    assert not missing, (
+        f"ci.yml job(s) {sorted(missing)} have no '# -- <job> job' leg in"
+        f" scripts/ci_local.sh — add the leg (or a stub explaining why it"
+        f" cannot run locally)"
+    )
+
+
+def test_every_local_leg_matches_a_workflow_job():
+    stale = set(local_legs()) - set(workflow_jobs())
+    assert not stale, (
+        f"scripts/ci_local.sh leg(s) {sorted(stale)} do not correspond to"
+        f" any ci.yml job — remove them or rename to match"
+    )
+
+
+def test_no_duplicate_markers():
+    legs = local_legs()
+    assert len(legs) == len(set(legs))
+    jobs = workflow_jobs()
+    assert len(jobs) == len(set(jobs))

@@ -3,8 +3,12 @@
 
 Tier 1 — strict: the leaf packages declared in ``pyproject.toml``
 (``repro.fingerprint``, ``repro.util``, ``repro.faults``,
-``repro.metrics``, ``repro.analysis``, ``repro.obs``) must produce **zero** errors
-under the strict per-module overrides there.  Any error fails the gate.
+``repro.metrics``, ``repro.analysis``, ``repro.obs``, ``repro.sim``)
+must produce **zero** errors under the strict per-module overrides
+there.  Any error fails the gate.  The declared package list is itself
+ratcheted: ``STRICT_FLOOR`` below names every package ever promoted to
+the strict tier, and the gate fails if ``pyproject.toml`` stops listing
+one of them — demotion requires editing both files, on purpose.
 
 Tier 2 — baseline-checked: ``repro.core`` and ``repro.cluster`` are
 checked non-strict (config: ``scripts/mypy-core.ini``) and compared to
@@ -34,6 +38,22 @@ REPO = Path(__file__).resolve().parent.parent
 BASELINE = REPO / "scripts" / "mypy_core_baseline.json"
 CORE_CONFIG = REPO / "scripts" / "mypy-core.ini"
 CORE_PACKAGES = ["repro.core", "repro.cluster"]
+
+#: Every package ever promoted to the strict tier.  Append-only: the
+#: gate fails if pyproject.toml drops one of these from [tool.mypy]
+#: packages, so strictness can only be widened by accident, never
+#: narrowed.
+STRICT_FLOOR = frozenset(
+    {
+        "repro.fingerprint",
+        "repro.util",
+        "repro.faults",
+        "repro.metrics",
+        "repro.analysis",
+        "repro.obs",
+        "repro.sim",
+    }
+)
 
 _ERROR_LINE = re.compile(
     r"^(?P<path>[^:]+\.py):(?P<line>\d+):(?:\d+:)?\s*error:"
@@ -76,6 +96,43 @@ def _errors_by_module(output: str) -> Dict[str, int]:
         if match:
             counts[_module_for(match.group("path"))] += 1
     return dict(counts)
+
+
+def declared_strict_packages() -> List[str]:
+    """[tool.mypy] packages as declared in pyproject.toml."""
+    try:
+        import tomllib
+    except ImportError:  # Python < 3.11: fall back to a line scan.
+        packages: List[str] = []
+        collecting = False
+        for raw in (REPO / "pyproject.toml").read_text("utf-8").splitlines():
+            line = raw.split("#", 1)[0].strip()
+            if collecting:
+                if line.startswith("]"):
+                    break
+                packages += re.findall(r'"([^"]+)"', line)
+            elif line.replace(" ", "").startswith("packages=["):
+                collecting = True
+                packages += re.findall(r'"([^"]+)"', line)
+        return packages
+    with open(REPO / "pyproject.toml", "rb") as fh:
+        data = tomllib.load(fh)
+    return list(data.get("tool", {}).get("mypy", {}).get("packages", []))
+
+
+def _floor_check() -> int:
+    """Fail if a strict-tier package was dropped from pyproject.toml."""
+    declared = set(declared_strict_packages())
+    demoted = sorted(STRICT_FLOOR - declared)
+    if demoted:
+        print(
+            "FAIL: strict-tier package(s) missing from [tool.mypy]"
+            f" packages in pyproject.toml: {', '.join(demoted)}"
+            " (the strict tier only ratchets up; see STRICT_FLOOR)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def _strict_tier() -> int:
@@ -149,12 +206,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="re-record scripts/mypy_core_baseline.json and exit 0",
     )
     args = parser.parse_args(argv)
+    # The floor check is pure config introspection — enforce it even
+    # where mypy itself is absent.
+    floor = _floor_check()
     if not _have_mypy():
         print("mypy gate: mypy not installed; skipping (CI enforces it)")
-        return 0
+        return floor
     strict = _strict_tier()
     core = _core_tier(write_baseline=args.write_baseline)
-    return strict or core
+    return floor or strict or core
 
 
 if __name__ == "__main__":

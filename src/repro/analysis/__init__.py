@@ -7,6 +7,7 @@ time.  See ``docs/static-analysis.md`` for the rule catalogue and the
 paper-grounded rationale behind each rule.
 """
 
+from .concurrency import LockSanitizer
 from .engine import (
     Baseline,
     Finding,
@@ -26,6 +27,7 @@ __all__ = [
     "Finding",
     "Linter",
     "LintResult",
+    "LockSanitizer",
     "Rule",
     "SourceModule",
     "format_human",

@@ -1,0 +1,75 @@
+"""Git-backed file selection for ``repro lint --changed-only``.
+
+Resolves "which Python files differ from a ref" so the linter can run
+on a PR's footprint instead of the whole tree.  The selection is the
+union of
+
+* ``git diff --name-only REF`` (tracked changes, staged or not), and
+* ``git ls-files --others --exclude-standard`` (new, untracked files)
+
+filtered to ``*.py`` paths that still exist (a deleted file has nothing
+to lint).  All git failures — no git binary, not a repository, unknown
+ref — surface as :class:`GitUnavailable` so the CLI can fall back or
+report cleanly rather than crash.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+from typing import List, Optional
+
+__all__ = ["GitUnavailable", "changed_python_files"]
+
+
+class GitUnavailable(RuntimeError):
+    """git could not produce a change list (missing binary, not a repo,
+    or an unresolvable ref)."""
+
+
+def _git(args: List[str], cwd: Optional[Path]) -> List[str]:
+    """Run ``git *args``; non-empty stdout lines, or raise GitUnavailable."""
+    try:
+        proc = subprocess.run(
+            ["git", *args],
+            cwd=str(cwd) if cwd is not None else None,
+            capture_output=True,
+            text=True,
+            timeout=30,
+        )
+    except (OSError, subprocess.TimeoutExpired) as exc:
+        raise GitUnavailable(f"git {args[0]}: {exc}") from exc
+    if proc.returncode != 0:
+        detail = proc.stderr.strip().splitlines()
+        raise GitUnavailable(
+            f"git {' '.join(args)} failed:"
+            f" {detail[0] if detail else proc.returncode}"
+        )
+    return [line for line in proc.stdout.splitlines() if line.strip()]
+
+
+def changed_python_files(
+    ref: str = "HEAD", cwd: Optional[Path] = None
+) -> List[Path]:
+    """Absolute paths of ``*.py`` files changed relative to ``ref``.
+
+    Includes untracked (but not git-ignored) files; excludes paths that
+    no longer exist on disk.  Raises :class:`GitUnavailable` when git
+    cannot answer.
+    """
+    root = Path(_git(["rev-parse", "--show-toplevel"], cwd)[0])
+    names = _git(["diff", "--name-only", ref, "--", "*.py"], cwd)
+    names += _git(
+        ["ls-files", "--others", "--exclude-standard", "--", "*.py"], cwd
+    )
+    selected: List[Path] = []
+    seen = set()
+    for name in names:
+        if not name.endswith(".py"):
+            continue
+        path = (root / name).resolve()
+        if path in seen or not path.is_file():
+            continue
+        seen.add(path)
+        selected.append(path)
+    return sorted(selected)

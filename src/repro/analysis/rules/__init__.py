@@ -9,6 +9,9 @@ Rules encode paper-level invariants (see ``docs/static-analysis.md``):
 * FLT001 — substrate I/O must sit inside a fault scope
 * API001 — no imports bypassing the ``RadosCluster`` facade
 * OBS001 — started spans must be closed on all paths
+* LCK001 — no potential acquire-acquire cycles across call paths
+* LCK002 — no faultable I/O or unbounded waits under a write lock
+* LCK003 — locks must be released on every exit path
 """
 
 from typing import Dict, List
@@ -35,6 +38,14 @@ __all__ = [
 
 def default_rules() -> List[Rule]:
     """One instance of every repro-lint rule."""
+    # Imported lazily: concurrency.rules reuses FLT001 helpers from this
+    # package, so a module-level import here would be circular.
+    from ..concurrency.rules import (
+        LockOrderRule,
+        LockReleaseRule,
+        LockWaitRule,
+    )
+
     return [
         WallClockRule(),
         UnseededRandomRule(),
@@ -43,6 +54,9 @@ def default_rules() -> List[Rule]:
         FaultScopeRule(),
         LayeringRule(),
         SpanLifecycleRule(),
+        LockOrderRule(),
+        LockWaitRule(),
+        LockReleaseRule(),
     ]
 
 

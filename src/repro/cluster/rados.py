@@ -123,7 +123,11 @@ class RadosCluster:
     def _write_lock(self, key: ObjectKey) -> Resource:
         lock = self._write_locks.get(key)
         if lock is None:
-            lock = Resource(self.sim, capacity=1)
+            lock = Resource(
+                self.sim,
+                capacity=1,
+                label=f"rados.write:{key.pool_id}/{key.pg}/{key.name}",
+            )
             self._write_locks[key] = lock
         return lock
 
@@ -406,9 +410,11 @@ class RadosCluster:
                 self._write_lock(key)
                 for key in sorted({self.object_key(pool, oid) for oid, _ in items})
             ]
-            for lock in locks:
-                yield lock.acquire()
+            acquired: List[Resource] = []
             try:
+                for lock in locks:
+                    yield lock.acquire()
+                    acquired.append(lock)
                 jobs = []
                 for merged, _n, up in plans:
                     primary = up[0]
@@ -434,7 +440,7 @@ class RadosCluster:
                         if osd.up:
                             osd.commit_transaction(merged)
             finally:
-                for lock in reversed(locks):
+                for lock in reversed(acquired):
                     lock.release()
             yield from self._rpc_latency()  # ack to client
 
@@ -524,9 +530,11 @@ class RadosCluster:
             self._write_lock(key)
             for key in sorted({self.object_key(pool, oid) for oid, _ in items})
         ]
-        for lock in locks:
-            yield lock.acquire()
+        acquired: List[Resource] = []
         try:
+            for lock in locks:
+                yield lock.acquire()
+                acquired.append(lock)
             plans = []  # (txn, targets)
             for oid, txn in items:
                 remap = self._remap_for(pool, pool.pg_of(oid))
@@ -570,7 +578,7 @@ class RadosCluster:
                     if osd.up:
                         osd.commit_transaction(txn)
         finally:
-            for lock in reversed(locks):
+            for lock in reversed(acquired):
                 lock.release()
         yield from self._rpc_latency()  # ack to client
 

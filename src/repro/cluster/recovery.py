@@ -240,15 +240,27 @@ def recover(cluster: RadosCluster, stats: Optional[RecoveryStats] = None):
     if jobs:
         yield cluster.sim.all_of(jobs)
     for osd, key in deletions:
-        if not osd.store.exists(key):
-            continue
-        if not _safe_to_delete(cluster, osd, key, stats):
-            # A copy task feeding this deletion failed (target died
-            # mid-push): deleting now could drop the last real copy.
-            # Keep it; the next recovery pass re-plans both sides.
-            continue
-        osd.store.delete_object(key)
-        stats.objects_deleted += 1
+        # The safety check and the delete inspect holder state that the
+        # rebalance engine mutates under the per-object write lock; while
+        # any PG is mid-remap, take the same lock here (mirrors _run_task)
+        # so a migration can never interleave between the check and the
+        # delete.  With no remaps active nothing else races recovery.
+        lock = cluster._write_lock(key) if cluster._active_remaps else None
+        if lock is not None:
+            yield lock.acquire()
+        try:
+            if not osd.store.exists(key):
+                continue
+            if not _safe_to_delete(cluster, osd, key, stats):
+                # A copy task feeding this deletion failed (target died
+                # mid-push): deleting now could drop the last real copy.
+                # Keep it; the next recovery pass re-plans both sides.
+                continue
+            osd.store.delete_object(key)
+            stats.objects_deleted += 1
+        finally:
+            if lock is not None:
+                lock.release()
     if stats.tasks_failed == 0:
         for osd in cluster.osds.values():
             if osd.up and osd.needs_backfill:

@@ -376,7 +376,7 @@ class DedupTier:
         """Per-chunk-object mutex for reference read-modify-write."""
         lock = self._chunk_locks.get(chunk_id)
         if lock is None:
-            lock = Resource(self.sim, capacity=1)
+            lock = Resource(self.sim, capacity=1, label=f"tier.chunk:{chunk_id}")
             self._chunk_locks[chunk_id] = lock
         return lock
 
@@ -384,7 +384,7 @@ class DedupTier:
         """Per-metadata-object mutex for dedup passes."""
         lock = self._object_locks.get(oid)
         if lock is None:
-            lock = Resource(self.sim, capacity=1)
+            lock = Resource(self.sim, capacity=1, label=f"tier.object:{oid}")
             self._object_locks[oid] = lock
         return lock
 
@@ -624,9 +624,11 @@ class DedupTier:
             # which holds at most one chunk lock) cannot deadlock.
             chunk_ids = sorted(per_chunk)
             locks = [self.chunk_lock(cid) for cid in chunk_ids]
-            for lock in locks:
-                yield lock.acquire()
+            acquired: List[Resource] = []
             try:
+                for lock in locks:
+                    yield lock.acquire()
+                    acquired.append(lock)
                 self.stage.ref_ops += len(batch.ops)
                 items: List[Tuple[str, Transaction]] = []
                 stored_payloads: List[Tuple[str, bytes]] = []
@@ -709,7 +711,7 @@ class DedupTier:
                 s.tag(stored=len(stored_payloads), removed=len(removed))
                 return outcomes
             finally:
-                for lock in reversed(locks):
+                for lock in reversed(acquired):
                     lock.release()
 
     def read_chunk(

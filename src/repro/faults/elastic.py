@@ -106,6 +106,7 @@ def run_elastic_workload(
     rate_limit_bps: Optional[float] = 64.0 * KiB * KiB,
     with_faults: bool = True,
     decommission_osd: int = 1,
+    sanitizer: Any = None,
 ) -> ElasticityResult:
     """Run the online-elasticity acceptance scenario; returns the result.
 
@@ -128,6 +129,8 @@ def run_elastic_workload(
         DedupConfig(chunk_size=32 * KiB, trace_ops=True),
         start_engine=True,
     )
+    if sanitizer is not None:
+        sanitizer.attach(storage.sim)
     injector: Any = None
     if with_faults:
         if plan is None:
@@ -253,6 +256,10 @@ def run_elastic_workload(
         for oid, data in sorted(payloads.items())
         if storage.read_sync(oid, 0, len(data)) != data
     ]
+    # Quiesce: verification reads can spawn fire-and-forget cache
+    # promotions; run the loop dry so no task is left suspended holding
+    # an object lock (the lock sanitizer treats that as a leak).
+    sim.run()
     result.objects_written = num_objects
     records = storage.tracer.to_records()
     # Structural soundness (finished, no orphans, all stages present) of

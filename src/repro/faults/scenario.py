@@ -67,6 +67,7 @@ def run_faulted_workload(
     dedupe_ratio: float = 0.6,
     horizon: float = 4.0,
     config: Any = None,
+    sanitizer: Any = None,
 ) -> ScenarioResult:
     """Run the faulted-workload acceptance scenario; returns the result.
 
@@ -75,6 +76,10 @@ def run_faulted_workload(
     Writes are staggered across the first 80% of the horizon so faults
     land mid-workload — including mid-flush, since the background
     engine runs throughout.
+
+    ``sanitizer`` (a :class:`repro.analysis.LockSanitizer`) is attached
+    to the simulator before any I/O so every lock acquisition in the run
+    is recorded; inspect ``sanitizer.report()`` afterwards.
     """
     from ..cluster import RadosCluster, recover_sync
     from ..core import DedupConfig, DedupedStorage, scrub_sync
@@ -88,6 +93,8 @@ def run_faulted_workload(
         config if config is not None else DedupConfig(chunk_size=32 * KiB),
         start_engine=True,
     )
+    if sanitizer is not None:
+        sanitizer.attach(storage.sim)
     if plan is None:
         plan = FaultPlan.generate(
             seed,
@@ -146,6 +153,10 @@ def run_faulted_workload(
         for oid, data in sorted(payloads.items())
         if storage.read_sync(oid, 0, len(data)) != data
     ]
+    # Quiesce: the verification reads can spawn fire-and-forget cache
+    # promotions; run the loop dry so no task is left suspended holding
+    # an object lock (the lock sanitizer treats that as a leak).
+    sim.run()
     return ScenarioResult(
         storage=storage,
         injector=injector,

@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, Generator, Iterable, List, Optional
+from typing import Any, Callable, Generator, Iterable, Iterator, List, Optional
 
 __all__ = [
     "Simulator",
@@ -59,7 +59,7 @@ class Interrupt(Exception):
     interrupted (for instance, an OSD failure notice).
     """
 
-    def __init__(self, cause: Any = None):
+    def __init__(self, cause: Any = None) -> None:
         super().__init__(cause)
         self.cause = cause
 
@@ -72,9 +72,12 @@ class Event:
     run at the simulated time of the trigger.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_exc", "triggered", "processed")
+    __slots__ = (
+        "sim", "callbacks", "_value", "_exc", "triggered", "processed",
+        "cancelled",
+    )
 
-    def __init__(self, sim: "Simulator"):
+    def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
         self.callbacks: Optional[List[Callable[["Event"], None]]] = []
         self._value: Any = None
@@ -83,6 +86,15 @@ class Event:
         self.triggered = False
         #: True once callbacks have run.
         self.processed = False
+        #: True when the waiter that created this event abandoned it (an
+        #: interrupted process detaching from a queued wait).  Producers
+        #: holding the event in a wait queue — :class:`~repro.sim.Resource`
+        #: slot grants, :class:`~repro.sim.Store` getters/putters,
+        #: :class:`~repro.sim.TokenBucket` grants — must skip cancelled
+        #: events instead of succeeding them, otherwise the granted slot,
+        #: item, or token budget is handed to a process that will never
+        #: consume it (a silent leak; for a capacity-1 lock, a deadlock).
+        self.cancelled = False
 
     @property
     def ok(self) -> bool:
@@ -151,7 +163,7 @@ class Timeout(Event):
 
     __slots__ = ("delay",)
 
-    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay}")
         super().__init__(sim)
@@ -172,7 +184,7 @@ class Process(Event):
 
     __slots__ = ("gen", "_waiting_on")
 
-    def __init__(self, sim: "Simulator", gen: Generator[Event, Any, Any]):
+    def __init__(self, sim: "Simulator", gen: Generator[Event, Any, Any]) -> None:
         super().__init__(sim)
         if not hasattr(gen, "send"):
             raise TypeError(f"process() requires a generator, got {gen!r}")
@@ -201,7 +213,13 @@ class Process(Event):
         if not self.is_alive:
             return
         # Detach from whatever we were waiting on; the stale event callback
-        # checks `_waiting_on` identity before resuming.
+        # checks `_waiting_on` identity before resuming.  Mark the
+        # abandoned event cancelled so queue-holding producers (Resource,
+        # Store, TokenBucket) drop it instead of granting to a waiter
+        # that is no longer listening.
+        stale = self._waiting_on
+        if stale is not None and not stale.triggered:
+            stale.cancelled = True
         self._waiting_on = None
         self._step(exc=exc)
 
@@ -217,31 +235,39 @@ class Process(Event):
             self._step(exc=event.exception)
 
     def _step(self, value: Any = None, exc: Optional[BaseException] = None) -> None:
-        while True:
-            try:
-                if exc is None:
-                    target = self.gen.send(value)
-                else:
-                    target = self.gen.throw(exc)
-            except StopIteration as stop:
-                self.succeed(stop.value)
+        # Track the running process on the simulator while the generator
+        # executes: synchronous callees (resource acquire/release, the
+        # lock sanitizer) can attribute their effects to this task.
+        previous = self.sim._current_task
+        self.sim._current_task = self
+        try:
+            while True:
+                try:
+                    if exc is None:
+                        target = self.gen.send(value)
+                    else:
+                        target = self.gen.throw(exc)
+                except StopIteration as stop:
+                    self.succeed(stop.value)
+                    return
+                except BaseException as error:
+                    self.fail(error)
+                    return
+                if not isinstance(target, Event):
+                    value, exc = None, SimulationError(
+                        f"process yielded non-event {target!r}"
+                    )
+                    continue
+                if target.sim is not self.sim:
+                    value, exc = None, SimulationError(
+                        "event belongs to another simulator"
+                    )
+                    continue
+                self._waiting_on = target
+                target.subscribe(self._resume)
                 return
-            except BaseException as error:
-                self.fail(error)
-                return
-            if not isinstance(target, Event):
-                value, exc = None, SimulationError(
-                    f"process yielded non-event {target!r}"
-                )
-                continue
-            if target.sim is not self.sim:
-                value, exc = None, SimulationError(
-                    "event belongs to another simulator"
-                )
-                continue
-            self._waiting_on = target
-            target.subscribe(self._resume)
-            return
+        finally:
+            self.sim._current_task = previous
 
 
 class _Condition(Event):
@@ -249,7 +275,7 @@ class _Condition(Event):
 
     __slots__ = ("events", "_pending")
 
-    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
         super().__init__(sim)
         self.events: List[Event] = list(events)
         self._pending = len(self.events)
@@ -303,12 +329,25 @@ class Simulator:
     All times are floats in **seconds** of simulated time.
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         #: Current simulated time, in seconds.
         self.now: float = 0.0
         self._queue: List[Any] = []
-        self._seq = itertools.count()
+        self._seq: Iterator[int] = itertools.count()
         self._processed_events = 0
+        #: The process whose generator is currently executing (set by
+        #: :meth:`Process._step`); ``None`` between process steps.
+        self._current_task: Optional[Process] = None
+        #: Optional runtime lock-discipline checker (see
+        #: ``repro.analysis.concurrency.LockSanitizer.attach``).  When
+        #: set, labelled :class:`~repro.sim.Resource` acquires/releases
+        #: report to it; ``None`` costs one attribute check per call.
+        self.lock_sanitizer: Any = None
+
+    @property
+    def current_task(self) -> Optional[Process]:
+        """The process currently executing, or ``None`` (kernel context)."""
+        return self._current_task
 
     # -- scheduling ------------------------------------------------------
 

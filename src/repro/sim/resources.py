@@ -12,7 +12,7 @@
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Generator, Optional
+from typing import Any, Deque, Generator, Optional, Tuple
 
 from .core import Event, SimulationError, Simulator
 
@@ -31,13 +31,23 @@ class Resource:
             resource.release()
 
     or the equivalent one-liner ``yield sim.process(resource.serve(t))``.
+
+    ``label`` marks the resource as a *lock* for the runtime lock
+    sanitizer (``repro.analysis.concurrency``): a ``"class:key"`` string
+    such as ``"rados.write:1/7/obj-3"``.  Labelled resources report
+    acquire/grant/release to ``sim.lock_sanitizer`` when one is
+    attached; unlabelled resources (devices, CPU slots) are not lock-like
+    and stay invisible to it.
     """
 
-    def __init__(self, sim: Simulator, capacity: int = 1):
+    def __init__(
+        self, sim: Simulator, capacity: int = 1, label: Optional[str] = None
+    ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.sim = sim
         self.capacity = capacity
+        self.label = label
         self._in_use = 0
         self._waiters: Deque[Event] = deque()
         #: Total simulated time during which at least one slot was busy.
@@ -46,6 +56,11 @@ class Resource:
         #: capacity for average utilisation.
         self.busy_integral = 0.0
         self._last_change = sim.now
+
+    def _sanitizer(self) -> Any:
+        if self.label is None:
+            return None
+        return self.sim.lock_sanitizer
 
     @property
     def in_use(self) -> int:
@@ -77,25 +92,44 @@ class Resource:
     def acquire(self) -> Event:
         """Return an event that fires once a slot is granted (FIFO)."""
         event = Event(self.sim)
+        sanitizer = self._sanitizer()
+        if sanitizer is not None:
+            sanitizer.on_acquire(self, event)
         if self._in_use < self.capacity and not self._waiters:
             self._account()
             self._in_use += 1
             event.succeed(self)
+            if sanitizer is not None:
+                sanitizer.on_grant(self, event)
         else:
             self._waiters.append(event)
         return event
 
     def release(self) -> None:
-        """Release one held slot, waking the next FIFO waiter if any."""
+        """Release one held slot, waking the next FIFO waiter if any.
+
+        Waiters whose event was cancelled (the waiting process was
+        interrupted and detached) are dropped instead of granted — a
+        cancelled waiter would never release the slot back.
+        """
         if self._in_use <= 0:
             raise SimulationError("release() without a matching acquire()")
         self._account()
-        if self._waiters:
-            # Hand the slot straight to the next waiter; occupancy unchanged.
+        sanitizer = self._sanitizer()
+        if sanitizer is not None:
+            sanitizer.on_release(self)
+        while self._waiters:
             waiter = self._waiters.popleft()
+            if waiter.cancelled:
+                if sanitizer is not None:
+                    sanitizer.on_cancelled(self, waiter)
+                continue
+            # Hand the slot straight to the next waiter; occupancy unchanged.
             waiter.succeed(self)
-        else:
-            self._in_use -= 1
+            if sanitizer is not None:
+                sanitizer.on_grant(self, waiter)
+            return
+        self._in_use -= 1
 
     def serve(self, duration: float) -> Generator[Event, Any, None]:
         """Process generator: hold one slot for ``duration`` seconds."""
@@ -109,23 +143,30 @@ class Resource:
 class Store:
     """A FIFO buffer of items between producer and consumer processes."""
 
-    def __init__(self, sim: Simulator, capacity: Optional[int] = None):
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None) -> None:
         if capacity is not None and capacity < 1:
             raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
         self.sim = sim
         self.capacity = capacity
         self._items: Deque[Any] = deque()
         self._getters: Deque[Event] = deque()
-        self._putters: Deque[tuple] = deque()  # (event, item)
+        self._putters: Deque[Tuple[Event, Any]] = deque()  # (event, item)
 
     def __len__(self) -> int:
         return len(self._items)
 
+    def _next_getter(self) -> Optional[Event]:
+        while self._getters:
+            getter = self._getters.popleft()
+            if not getter.cancelled:
+                return getter
+        return None
+
     def put(self, item: Any) -> Event:
         """Return an event that fires once ``item`` has been accepted."""
         event = Event(self.sim)
-        if self._getters:
-            getter = self._getters.popleft()
+        getter = self._next_getter()
+        if getter is not None:
             getter.succeed(item)
             event.succeed(None)
         elif self.capacity is None or len(self._items) < self.capacity:
@@ -140,10 +181,13 @@ class Store:
         event = Event(self.sim)
         if self._items:
             item = self._items.popleft()
-            if self._putters:
+            while self._putters:
                 put_event, pending = self._putters.popleft()
+                if put_event.cancelled:
+                    continue
                 self._items.append(pending)
                 put_event.succeed(None)
+                break
             event.succeed(item)
         else:
             self._getters.append(event)
@@ -159,7 +203,9 @@ class TokenBucket:
     starved by a stream of small ones.
     """
 
-    def __init__(self, sim: Simulator, rate: float, capacity: Optional[float] = None):
+    def __init__(
+        self, sim: Simulator, rate: float, capacity: Optional[float] = None
+    ) -> None:
         if rate <= 0:
             raise ValueError(f"rate must be positive, got {rate}")
         self.sim = sim
@@ -169,7 +215,7 @@ class TokenBucket:
             raise ValueError(f"capacity must be positive, got {self.capacity}")
         self._tokens = self.capacity
         self._last_refill = sim.now
-        self._waiters: Deque[tuple] = deque()  # (event, amount)
+        self._waiters: Deque[Tuple[Event, float]] = deque()  # (event, amount)
         self._drain_scheduled = False
 
     def _refill(self) -> None:
@@ -202,6 +248,11 @@ class TokenBucket:
         self._refill()
         while self._waiters:
             event, amount = self._waiters[0]
+            if event.cancelled:
+                # The waiting process was interrupted; don't burn budget
+                # on a grant nobody consumes.
+                self._waiters.popleft()
+                continue
             if amount <= self._tokens + 1e-12:
                 self._tokens -= amount
                 self._waiters.popleft()

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import hashlib
 import random
+from typing import Dict
 
 __all__ = ["RngRegistry", "derive_seed"]
 
@@ -27,9 +28,9 @@ def derive_seed(root_seed: int, name: str) -> int:
 class RngRegistry:
     """A factory of independent, named ``random.Random`` streams."""
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0) -> None:
         self.seed = seed
-        self._streams: dict = {}
+        self._streams: Dict[str, random.Random] = {}
 
     def stream(self, name: str) -> random.Random:
         """Return the stream for ``name``, creating it on first use.

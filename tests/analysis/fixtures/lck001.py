@@ -1,0 +1,61 @@
+"""LCK001 fixture: unsorted multi-acquire, a two-class cycle, and the
+clean sorted counterpart.
+
+Linted with a module override placing it under ``repro.core``.
+"""
+
+
+def unsorted_multi(self, chunk_ids):
+    locks = [self.chunk_lock(c) for c in chunk_ids]
+    acquired = []
+    try:
+        for lock in locks:
+            yield lock.acquire()  # line 13: LCK001 (unsorted self-cycle)
+            acquired.append(lock)
+        yield None
+    finally:
+        for lock in reversed(acquired):
+            lock.release()
+
+
+def take_object_then_chunk(self, oid, cid):
+    outer = self.object_lock(oid)
+    yield outer.acquire()  # line 23: LCK001 (edge object -> chunk)
+    try:
+        inner = self.chunk_lock(cid)
+        yield inner.acquire()
+        try:
+            yield None
+        finally:
+            inner.release()
+    finally:
+        outer.release()
+
+
+def take_chunk_then_object(self, oid, cid):
+    outer = self.chunk_lock(cid)
+    yield outer.acquire()  # line 37: LCK001 (edge chunk -> object)
+    try:
+        inner = self.object_lock(oid)
+        yield inner.acquire()
+        try:
+            yield None
+        finally:
+            inner.release()
+    finally:
+        outer.release()
+
+
+def sorted_multi(self, chunk_ids):
+    # Clean: the collection iterates sorted(...) keys, so every task
+    # acquires in the same global order.
+    locks = [self.chunk_lock(c) for c in sorted(chunk_ids)]
+    acquired = []
+    try:
+        for lock in locks:
+            yield lock.acquire()
+            acquired.append(lock)
+        yield None
+    finally:
+        for lock in reversed(acquired):
+            lock.release()

@@ -1,0 +1,50 @@
+"""Deliberately deadlock-prone fixture, runnable under the simulator.
+
+Two tasks calling ``swap("a", "b")`` and ``swap("b", "a")`` acquire the
+same pair of ``tier.object`` locks in opposite orders and wedge.  The
+static prong (LCK001) flags the nested same-class acquire; the dynamic
+prong (:class:`repro.analysis.LockSanitizer`) observes the inversion at
+runtime.  Linted with a module override placing it under ``repro.core``.
+"""
+
+from repro.sim import Resource, Simulator
+
+
+class DeadlockTier:
+    """Two-object store with per-object locks and no acquisition order."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self._locks = {}
+
+    def object_lock(self, oid):
+        lock = self._locks.get(oid)
+        if lock is None:
+            lock = Resource(self.sim, capacity=1, label=f"tier.object:{oid}")
+            self._locks[oid] = lock
+        return lock
+
+    def swap(self, first, second):
+        """Hold ``first`` while taking ``second`` — opposite callers hang."""
+        outer = self.object_lock(first)
+        yield outer.acquire()  # line 30: LCK001 (same class under itself)
+        try:
+            inner = self.object_lock(second)
+            yield inner.acquire()
+            try:
+                yield self.sim.timeout(0.1)
+            finally:
+                inner.release()
+        finally:
+            outer.release()
+
+
+def run_deadlock(sim=None):
+    """Drive both tasks to the deadlock; returns the simulator used."""
+    if sim is None:
+        sim = Simulator()
+    tier = DeadlockTier(sim)
+    sim.process(tier.swap("a", "b"))
+    sim.process(tier.swap("b", "a"))
+    sim.run()
+    return sim

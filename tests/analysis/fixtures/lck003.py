@@ -1,0 +1,47 @@
+"""LCK003 fixture: leaked acquisitions vs properly released shapes.
+
+Linted with a module override placing it under ``repro.core``.
+"""
+
+
+def chain_no_handle(self, key):
+    yield self._write_lock(key).acquire()  # line 8: LCK003 (no handle)
+
+
+def scalar_unguarded(self, key):
+    lock = self._write_lock(key)
+    yield lock.acquire()  # line 13: LCK003 (no try/finally)
+    lock.release()
+
+
+def multi_across_loop(self, keys):
+    locks = [self._write_lock(k) for k in sorted(keys)]
+    for lock in locks:
+        yield lock.acquire()  # line 20: LCK003 (leaks on mid-loop exit)
+    try:
+        yield None
+    finally:
+        for lock in locks:
+            lock.release()
+
+
+def scalar_guarded(self, key):
+    lock = self._write_lock(key)
+    yield lock.acquire()
+    try:
+        yield None
+    finally:
+        lock.release()
+
+
+def acquired_list_guarded(self, keys):
+    locks = [self._write_lock(k) for k in sorted(keys)]
+    acquired = []
+    try:
+        for lock in locks:
+            yield lock.acquire()
+            acquired.append(lock)
+        yield None
+    finally:
+        for lock in reversed(acquired):
+            lock.release()

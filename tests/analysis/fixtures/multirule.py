@@ -1,0 +1,24 @@
+"""Multi-rule same-line fixture: LCK002 and FLT001 both fire on an
+unguarded substrate submit under a write lock; a targeted suppression
+silences exactly one of them.
+
+Linted with a module override placing it under ``repro.core``.
+"""
+
+
+def both_fire(self, key, txn, via):
+    lock = self._write_lock(key)
+    yield lock.acquire()
+    try:
+        yield from self.cluster.submit(self.pool, key, txn, via)  # line 13
+    finally:
+        lock.release()
+
+
+def one_suppressed(self, key, txn, via):
+    lock = self._write_lock(key)
+    yield lock.acquire()
+    try:
+        yield from self.cluster.submit(self.pool, key, txn, via)  # repro-lint: disable=FLT001 -- fixture: lock rule must still fire
+    finally:
+        lock.release()

@@ -1,0 +1,89 @@
+"""Static prong of the concurrency checker: the LCK rule family fires
+on the seeded fixtures (at the asserted lines), stays quiet on the clean
+counterparts, and composes with suppressions and baselines when two
+rules hit the same line."""
+
+from pathlib import Path
+
+from repro.analysis import Baseline, Linter, default_rules
+
+from .test_rules import found, lint_fixtures
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def test_lck001_flags_unsorted_multi_and_cross_class_cycle():
+    result = lint_fixtures({"lck001.py": "repro.core.fixture_lck001"})
+    # 13: unsorted multi-acquire self-cycle; 23/37: the object->chunk /
+    # chunk->object edges that close a cross-class cycle.  The sorted
+    # multi-acquire stays quiet.
+    assert found(result, "LCK001") == (13, 23, 37)
+    assert not result.ok
+
+
+def test_lck001_acyclic_tree_is_clean():
+    # lck003.py acquires plenty of locks but only sorted multi-acquires
+    # and single-class regions: no edge participates in a cycle.
+    result = lint_fixtures({"lck003.py": "repro.core.fixture_lck003"})
+    assert found(result, "LCK001") == ()
+
+
+def test_lck002_flags_io_retry_and_blocking_under_locks():
+    result = lint_fixtures({"lck002.py": "repro.core.fixture_lck002"})
+    # 12: substrate I/O under a write lock; 21: retry entry under a
+    # write lock; 31: unbounded throttle under a chunk lock.  The
+    # retry-under-tier-lock counterpart (the paper's serialised write
+    # path) stays quiet.
+    assert found(result, "LCK002") == (12, 21, 31)
+    assert not result.ok
+
+
+def test_lck003_flags_leaks_but_not_guarded_shapes():
+    result = lint_fixtures({"lck003.py": "repro.core.fixture_lck003"})
+    # 8: factory chain with no handle; 13: scalar without try/finally;
+    # 20: multi-acquire loop whose try sits beyond the loop.  Both
+    # guarded shapes (scalar and acquired-list) stay quiet.
+    assert found(result, "LCK003") == (8, 13, 20)
+    assert not result.ok
+
+
+def test_lck001_flags_deadlock_fixture_statically():
+    result = lint_fixtures(
+        {"lck001_deadlock.py": "repro.core.fixture_lck001_deadlock"}
+    )
+    assert found(result, "LCK001") == (30,)
+
+
+def test_two_rules_fire_on_one_line():
+    result = lint_fixtures({"multirule.py": "repro.core.fixture_multirule"})
+    by_line = {(f.rule, f.line) for f in result.findings}
+    assert ("LCK002", 13) in by_line
+    assert ("FLT001", 13) in by_line
+
+
+def test_suppression_is_per_rule_on_a_shared_line():
+    result = lint_fixtures({"multirule.py": "repro.core.fixture_multirule"})
+    by_line = {(f.rule, f.line) for f in result.findings}
+    # Line 22 suppresses FLT001 with a justification; LCK002 still fires.
+    assert ("LCK002", 22) in by_line
+    assert ("FLT001", 22) not in by_line
+    assert result.suppressed == 1
+
+
+def test_baseline_is_per_rule_on_a_shared_line():
+    path = FIXTURES / "multirule.py"
+    module = "repro.core.fixture_multirule"
+    first = Linter(default_rules()).run_paths(
+        [str(path)], module_overrides={str(path): module}
+    )
+    # Grandfather only the FLT001 findings: LCK002 must stay new even
+    # though it anchors to the very same line.
+    partial = Baseline.from_findings(
+        [f for f in first.findings if f.rule == "FLT001"]
+    )
+    second = Linter(default_rules(), baseline=partial).run_paths(
+        [str(path)], module_overrides={str(path): module}
+    )
+    assert {f.rule for f in second.findings} == {"LCK002"}
+    assert all(f.rule == "FLT001" for f in second.baselined)
+    assert not second.ok

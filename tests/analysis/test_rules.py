@@ -108,4 +108,4 @@ def test_every_rule_has_id_title_and_severity():
         ids.add(rule.id)
         assert rule.title
         assert rule.severity in ("warning", "error")
-    assert len(ids) == 7
+    assert len(ids) == 10

@@ -117,6 +117,7 @@ done
 step "perf-smoke: harness vs committed baseline" \
     env PYTHONPATH=src python -m repro perf --fast --workers 4 \
     --out BENCH_perf.json \
+    --profile BENCH_perf_profile.json \
     --baseline benchmarks/baselines/perf_baseline.json
 
 # -- obs-smoke job ----------------------------------------------------------

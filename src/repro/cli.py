@@ -207,6 +207,26 @@ def _cmd_perf(args) -> int:
         workers=args.workers,
         trace=args.trace,
     )
+    if args.profile:
+        # Profile a separate single-repeat pass: cProfile's per-call
+        # overhead would skew the gated numbers (and the machine-score
+        # calibration) if it wrapped the measured run above.
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        harness.run_perf(
+            fast=True if args.fast else None,
+            seed=args.seed,
+            repeats=1,
+            workers=args.workers,
+        )
+        profiler.disable()
+        from .perf.profile import profile_to_dict, write_profile
+
+        prof = profile_to_dict(profiler, top=args.profile_top)
+        write_profile(prof, args.profile)
+        print(f"profile written to {args.profile} (top {args.profile_top} by cumtime)")
     for line in harness.render_report(report):
         print(line)
     if args.out:
@@ -488,6 +508,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         type=float,
         default=0.25,
         help="allowed calibrated ops/s regression vs baseline (default 0.25)",
+    )
+    perf.add_argument(
+        "--profile",
+        default=None,
+        metavar="PATH",
+        help="run under cProfile and write the top functions by "
+        "cumulative time as JSON here",
+    )
+    perf.add_argument(
+        "--profile-top",
+        type=int,
+        default=40,
+        metavar="N",
+        help="how many functions the --profile artifact keeps (default 40)",
     )
     obs = sub.add_parser(
         "obs",

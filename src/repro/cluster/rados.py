@@ -24,7 +24,7 @@ Semantics follow Ceph:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set, Tuple, TYPE_CHECKING
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple, TYPE_CHECKING
 
 from ..obs import NULL_SPAN
 from ..sim import Resource, Simulator
@@ -119,6 +119,22 @@ class RadosCluster:
         # against the union of old+new locations; the rebalance engine
         # (repro.cluster.rebalance) migrates the data and retires it.
         self._active_remaps: Dict[Tuple[int, int], "PgRemap"] = {}
+        # Callbacks fired after recovery / rebalance rewrites stored
+        # objects (see notify_repaired): layers holding decoded caches
+        # above the substrate (e.g. the dedup tier's chunk-map and
+        # RefSet LRUs) register here to drop state the repair may have
+        # replaced underneath them.
+        self._repair_listeners: List[Callable[[], None]] = []
+
+    def add_repair_listener(self, listener: Callable[[], None]) -> None:
+        """Register a callback fired whenever stored objects may have
+        been rewritten outside the normal client I/O path."""
+        self._repair_listeners.append(listener)
+
+    def notify_repaired(self) -> None:
+        """Tell listeners that recovery/rebalance rewrote objects."""
+        for listener in self._repair_listeners:
+            listener()
 
     def _write_lock(self, key: ObjectKey) -> Resource:
         lock = self._write_locks.get(key)

@@ -274,6 +274,9 @@ class Rebalancer:
                     self.stats.degraded_seconds = max(
                         self.stats.degraded_seconds, sim.now - remap.registered_at
                     )
+        # Migration copies (and trims) object state outside the client
+        # I/O path; let cache-holding layers above drop decoded state.
+        self.cluster.notify_repaired()
         self.stats.finished_at = sim.now
         return self.stats
 

@@ -268,6 +268,10 @@ def recover(cluster: RadosCluster, stats: Optional[RecoveryStats] = None):
     # PGs healed straight to the current map no longer need their
     # old+new union view; drop any remap whose old side has drained.
     cluster.retire_remaps()
+    # Healing may have replaced object state (reconciling stale copies,
+    # re-replicating from survivors): caches decoded from the old state
+    # must not outlive it.
+    cluster.notify_repaired()
     stats.finished_at = cluster.sim.now
     return stats
 

@@ -21,7 +21,7 @@ from ..chunking import StaticChunker
 from ..cluster import NoSuchObject, Pool, RadosCluster, Transaction
 from ..fingerprint import fingerprint
 from .config import DedupConfig
-from .objects import CHUNK_MAP_XATTR, ChunkMap, ChunkMapEntry, ChunkRef
+from .objects import ChunkMap, ChunkMapEntry, ChunkRef
 from .tier import DedupTier
 
 __all__ = [
@@ -236,9 +236,15 @@ class InlineDedupStorage:
                     dirty=False,
                 )
             )
-        txn = Transaction().setxattr(key, CHUNK_MAP_XATTR, cmap.serialize())
+        txn = Transaction()
+        tier.append_map_commit(txn, oid, cmap)
         txn.create(key)
-        yield from tier.cluster.submit(tier.metadata_pool, oid, txn, client)
+        try:
+            yield from tier.cluster.submit(tier.metadata_pool, oid, txn, client)
+        except Exception:
+            tier.invalidate_map_cache(oid)
+            raise
+        tier.note_map_committed(oid, cmap)
         tier.fg_window.note(len(data))
 
     def read(self, oid: str, offset: int = 0, length: Optional[int] = None, client=None):

@@ -110,6 +110,16 @@ class DedupConfig:
     #: existence probe entirely; the filter grows itself when full).
     #: 0 disables.
     chunk_bloom_capacity: int = 8192
+    #: LRU cache of decoded ChunkMaps in front of ``load_chunk_map``,
+    #: versioned per object: every committed map mutation bumps the
+    #: object's map version, and a cached decode is served only when its
+    #: version matches.  0 disables.
+    map_cache_entries: int = 256
+    #: Commit chunk-map mutations incrementally (v2 format): per-entry
+    #: omap records under ``map.<idx>`` plus a small header xattr, so a
+    #: 1-chunk update serialises one 150-byte entry instead of the whole
+    #: map.  Off: every commit rewrites the legacy whole-map blob.
+    incremental_map_commits: bool = True
     #: Background dedup thread count (paper §3.2: "background
     #: deduplication threads periodically conduct a deduplication job").
     engine_workers: int = 8
@@ -192,6 +202,10 @@ class DedupConfig:
         if self.refset_cache_entries < 0:
             raise ValueError(
                 f"refset_cache_entries must be >= 0, got {self.refset_cache_entries}"
+            )
+        if self.map_cache_entries < 0:
+            raise ValueError(
+                f"map_cache_entries must be >= 0, got {self.map_cache_entries}"
             )
         if self.chunk_bloom_capacity < 0:
             raise ValueError(

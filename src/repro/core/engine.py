@@ -34,7 +34,7 @@ from ..cluster import Transaction
 from ..faults.errors import is_retryable
 from ..fingerprint import FingerprintPool
 from ..obs import NULL_SPAN
-from .objects import CHUNK_MAP_XATTR, ChunkRef
+from .objects import ChunkRef
 from .refcount import make_refcounter
 from .tier import ChunkBatch, DedupTier, NodeClient
 
@@ -226,6 +226,7 @@ class DedupEngine:
                     if not entry.cached:
                         # Dirty implies cached by construction; tolerate anyway.
                         entry.dirty = False
+                        cmap.mark_touched(idx)
                         changed = True
                         continue
                     if entry.fully_cached():
@@ -294,6 +295,7 @@ class DedupEngine:
                             self.stats.bytes_deduped += len(data)
                 entry.chunk_id = fp
                 entry.dirty = False
+                cmap.mark_touched(idx)
                 if tier.cache.keep_cached_on_flush(oid):
                     if not entry.fully_cached():
                         # Materialise the merged chunk in the cache.
@@ -314,6 +316,9 @@ class DedupEngine:
                 if tier.seq(oid) != seq_at_start:
                     # Raced before the batch committed: nothing in the
                     # chunk pool was touched, so there is nothing to undo.
+                    # The in-memory map was mutated without committing —
+                    # the cached decode must go too.
+                    tier.invalidate_map_cache(oid)
                     self.stats.objects_aborted_race += 1
                     tier.mark_dirty(oid)
                     return "raced"
@@ -330,16 +335,22 @@ class DedupEngine:
                 # A foreground write landed mid-pass: our map view is stale.
                 # Undo the references we took and retry later; dirty bits in
                 # the (authoritative) stored map still cover the new data.
+                tier.invalidate_map_cache(oid)
                 yield from self._undo_refs(taken, via, span=span)
                 self.stats.objects_aborted_race += 1
                 tier.mark_dirty(oid)
                 return "raced"
             if changed:
-                txn.setxattr(key, CHUNK_MAP_XATTR, cmap.serialize())
+                tier.append_map_commit(txn, oid, cmap)
                 yield from tier.cluster.submit(
                     tier.metadata_pool, oid, txn, via, span=span
                 )
+                tier.note_map_committed(oid, cmap)
         except Exception as exc:
+            # The pass mutated the in-memory map (flags, chunk ids) but
+            # the commit never landed: drop the cached decode before any
+            # other cleanup so no later load serves it.
+            tier.invalidate_map_cache(oid)
             # Skip-and-requeue degradation: a fault mid-pass (after the
             # I/O path's retries gave up) abandons the pass *before* the
             # chunk map commits — the dirty bits stay authoritative, so
@@ -483,15 +494,18 @@ class DedupEngine:
                         continue
                     txn.write(key, entry.offset, data)
                     entry.set_fully_valid()
-                    tier.cache.note_cached(
-                        oid, entry.offset // tier.config.chunk_size, entry.length
-                    )
+                    idx = entry.offset // tier.config.chunk_size
+                    cmap.mark_touched(idx)
+                    tier.cache.note_cached(oid, idx, entry.length)
                     promoted += 1
                 if promoted == 0:
                     return "nothing"
                 if tier.seq(oid) != seq_at_start:
+                    # Entries were marked valid in memory without a
+                    # commit: the cached decode is polluted.
+                    tier.invalidate_map_cache(oid)
                     return "raced"
-                txn.setxattr(key, CHUNK_MAP_XATTR, cmap.serialize())
+                tier.append_map_commit(txn, oid, cmap)
                 try:
                     yield from tier.cluster.submit(
                         tier.metadata_pool, oid, txn, via
@@ -500,9 +514,11 @@ class DedupEngine:
                     # Promotion is purely an optimisation: on a fault the
                     # chunk map stays authoritative and the object is
                     # re-promoted the next time its hit count trips.
+                    tier.invalidate_map_cache(oid)
                     if not is_retryable(exc):
                         raise
                     return "faulted"
+                tier.note_map_committed(oid, cmap)
                 self.stats.chunks_promoted += promoted
             finally:
                 lock.release()
@@ -540,22 +556,22 @@ class DedupEngine:
         via = NodeClient(primary.node)
         key = tier.metadata_key(oid)
         entry.clear_valid()
-        txn = (
-            Transaction()
-            .zero(key, entry.offset, entry.length)
-            .setxattr(key, CHUNK_MAP_XATTR, cmap.serialize())
-        )
+        cmap.mark_touched(index)
+        txn = Transaction().zero(key, entry.offset, entry.length)
+        tier.append_map_commit(txn, oid, cmap)
         if cmap.cached_indices() == []:
             txn.truncate(key, 0)  # fully evicted: metadata only
         try:
             yield from tier.cluster.submit(tier.metadata_pool, oid, txn, via)
         except Exception as exc:
-            # Eviction is deferrable: the commit never happened, so the
-            # cached copy stays valid and the LRU offers it again on the
-            # next capacity pass.
+            # Eviction is deferrable: the commit never happened, but the
+            # in-memory entry was already cleared — drop the cached
+            # decode; the LRU offers the chunk again on the next pass.
+            tier.invalidate_map_cache(oid)
             if not is_retryable(exc):
                 raise
             return
+        tier.note_map_committed(oid, cmap)
         tier.cache.note_evicted(oid, index)
         self.stats.chunks_evicted += 1
 

@@ -23,7 +23,7 @@ from typing import List, Optional, Tuple
 
 from ..cluster import NoSuchObject, Transaction
 from ..obs import NULL_SPAN
-from .objects import CHUNK_MAP_XATTR, ChunkMap, ChunkMapEntry
+from .objects import ChunkMap, ChunkMapEntry
 from .tier import DedupTier
 
 __all__ = ["write_path", "read_path", "delete_path"]
@@ -193,14 +193,21 @@ def _write_locked(
             oid, idx, sum(e - s for s, e in entry.valid)
         )
     txn.write(key, offset, data)
-    txn.setxattr(key, CHUNK_MAP_XATTR, cmap.serialize())
+    tier.append_map_commit(txn, oid, cmap)
     # Safe to retry: the transaction writes absolute offsets, so a
     # replay after a partial failure converges to the same state.
-    yield from tier.retrying(
-        lambda: cluster.submit(pool, oid, txn, client, span=span),
-        op="meta_write",
-        span=span,
-    )
+    try:
+        yield from tier.retrying(
+            lambda: cluster.submit(pool, oid, txn, client, span=span),
+            op="meta_write",
+            span=span,
+        )
+    except Exception:
+        # The in-memory map was mutated but the commit never landed:
+        # the cached decode must not survive.
+        tier.invalidate_map_cache(oid)
+        raise
+    tier.note_map_committed(oid, cmap)
     tier.bump_seq(oid)
     tier.mark_dirty(oid)
     tier.fg_window.note(len(data))
@@ -236,6 +243,10 @@ def delete_path(tier: DedupTier, oid: str, client=None):
                 op="meta_delete",
                 span=op,
             )
+            # The decoded map of a removed object must not be served to
+            # a later recreate (load_chunk_map hits skip the existence
+            # probe entirely).
+            tier.invalidate_map_cache(oid)
             tier.bump_seq(oid)
             via = client
             for entry in cmap:
@@ -359,6 +370,17 @@ def _read_once(tier, oid, offset, length, client, span=NULL_SPAN):
     results = yield tier.sim.all_of([proc for _s, _l, proc in jobs])
     for (sstart, seg_len, _proc), segment in zip(jobs, results):
         if len(segment) != seg_len:
+            # A segment can come back short when the backing object was
+            # truncated or re-pointed mid-read; pad to keep the gather
+            # shape, but never silently — the span and counter make the
+            # anomaly visible to the harness and to traces.
+            tier.stage.read_short_segments += 1
+            span.annotate(
+                "read_short_segment",
+                offset=sstart,
+                expected=seg_len,
+                got=len(segment),
+            )
             segment = segment[:seg_len] + b"\x00" * (seg_len - len(segment))
         buf[sstart - offset : sstart - offset + seg_len] = segment
     tier.fg_window.note(end - offset)

@@ -23,8 +23,9 @@ reproduced byte-for-byte.
 from __future__ import annotations
 
 import struct
+import sys
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Set, Tuple
 
 __all__ = [
     "CHUNK_MAP_ENTRY_BYTES",
@@ -33,6 +34,10 @@ __all__ = [
     "REFERENCE_ENTRY_BYTES",
     "CHUNK_MAP_XATTR",
     "REFS_XATTR",
+    "MAP_OMAP_PREFIX",
+    "map_entry_key",
+    "is_v2_map_header",
+    "decode_stored_map",
     "ChunkMapEntry",
     "ChunkMap",
     "ChunkRef",
@@ -51,10 +56,30 @@ REFS_XATTR = "dedup.refs"
 
 _MAP_MAGIC = b"CMAP"
 _MAP_HEADER = struct.Struct(">4sII")  # magic, chunk_size, entry count
+_MAP_MAGIC_V2 = b"CMP2"
+_MAP_HEADER_V2 = struct.Struct(">4sIIQ")  # magic, chunk_size, count, version
 _ENTRY_FIXED = struct.Struct(">QIBB")  # offset, length, flags, id length
 _FLAG_CACHED = 1
 _FLAG_DIRTY = 2
 _RANGE = struct.Struct(">II")
+
+#: Omap key prefix for incremental (v2) chunk-map entries.  Each entry
+#: lives under ``map.<idx>`` so a 1-chunk commit rewrites one 150-byte
+#: record instead of the whole map blob.
+MAP_OMAP_PREFIX = "map."
+
+
+def map_entry_key(index: int) -> str:
+    """Omap key for the chunk-map entry at chunk ``index``.
+
+    Zero-padded so lexicographic omap order matches chunk order.
+    """
+    return f"{MAP_OMAP_PREFIX}{index:010d}"
+
+
+def is_v2_map_header(blob: bytes) -> bool:
+    """Whether ``blob`` is an incremental-format (v2) map header."""
+    return blob[:4] == _MAP_MAGIC_V2
 
 #: Maximum cached valid ranges an entry can track before the write path
 #: falls back to a foreground pre-read that coalesces them.
@@ -74,7 +99,6 @@ def merge_ranges(ranges) -> Tuple[Tuple[int, int], ...]:
     return tuple((s, e) for s, e in out)
 
 
-@dataclass
 class ChunkMapEntry:
     """One row of the chunk map (Figure 8).
 
@@ -90,23 +114,56 @@ class ChunkMapEntry:
     engine — the paper's trick for keeping foreground partial writes at
     original-system cost.  ``cached`` is true iff ``valid`` is
     non-empty.
+
+    Hand-rolled ``__slots__`` class (not a dataclass): maps hold one
+    entry per chunk, so the per-instance dict overhead dominates decoded
+    map memory on wide objects.
     """
 
-    offset: int
-    length: int
-    chunk_id: str = ""
-    cached: bool = True
-    dirty: bool = True
-    valid: Tuple[Tuple[int, int], ...] = None  # None -> derived default
+    __slots__ = ("offset", "length", "chunk_id", "cached", "dirty", "valid")
 
-    def __post_init__(self):
-        if self.valid is None:
-            self.valid = ((0, self.length),) if self.cached else ()
-        self.valid = merge_ranges(self.valid)
+    def __init__(
+        self,
+        offset: int,
+        length: int,
+        chunk_id: str = "",
+        cached: bool = True,
+        dirty: bool = True,
+        valid: Optional[Tuple[Tuple[int, int], ...]] = None,
+    ):
+        self.offset = offset
+        self.length = length
+        self.chunk_id = chunk_id
+        self.cached = cached
+        self.dirty = dirty
+        if valid is None:
+            valid = ((0, length),) if cached else ()
+        self.valid = merge_ranges(valid)
         if not self.cached and self.valid:
             raise ValueError("non-cached entry cannot have valid ranges")
         if self.cached and not self.valid:
             raise ValueError("cached entry must have valid ranges")
+
+    def __repr__(self) -> str:
+        return (
+            f"ChunkMapEntry(offset={self.offset!r}, length={self.length!r}, "
+            f"chunk_id={self.chunk_id!r}, cached={self.cached!r}, "
+            f"dirty={self.dirty!r}, valid={self.valid!r})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ChunkMapEntry):
+            return NotImplemented
+        return (
+            self.offset == other.offset
+            and self.length == other.length
+            and self.chunk_id == other.chunk_id
+            and self.cached == other.cached
+            and self.dirty == other.dirty
+            and self.valid == other.valid
+        )
+
+    __hash__ = None  # type: ignore[assignment]  # mutable, like the old dataclass
 
     @property
     def end(self) -> int:
@@ -175,7 +232,9 @@ class ChunkMapEntry:
         """Inverse of :meth:`pack`."""
         offset, length, flags, id_len = _ENTRY_FIXED.unpack_from(blob)
         pos = _ENTRY_FIXED.size
-        chunk_id = blob[pos : pos + id_len].decode("ascii")
+        # Fingerprints repeat across entries (dedup!); interning collapses
+        # duplicates to one string object and makes equality a pointer test.
+        chunk_id = sys.intern(blob[pos : pos + id_len].decode("ascii"))
         pos += id_len
         n_ranges = blob[pos]
         pos += 1
@@ -207,6 +266,13 @@ class ChunkMap:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         self.chunk_size = chunk_size
         self._entries: Dict[int, ChunkMapEntry] = {}
+        #: Indices mutated since the last commit; drives the incremental
+        #: (v2) writer, which serialises only these entries.
+        self._touched: Set[int] = set()
+        #: Whether this map was decoded from an incremental (v2) store.
+        #: A v1-decoded map must be committed as a full upgrade (all
+        #: entries) the first time it is written incrementally.
+        self.stored_v2 = False
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -227,7 +293,26 @@ class ChunkMap:
             )
         if not (0 < entry.length <= self.chunk_size):
             raise ValueError(f"entry length {entry.length} out of range")
-        self._entries[entry.offset // self.chunk_size] = entry
+        idx = entry.offset // self.chunk_size
+        self._entries[idx] = entry
+        self._touched.add(idx)
+
+    def mark_touched(self, index: int) -> None:
+        """Record an in-place mutation of the entry at ``index``.
+
+        Callers that mutate a :class:`ChunkMapEntry` directly (flag
+        flips, valid-range edits) must mark it so the incremental writer
+        knows to re-serialise it.
+        """
+        self._touched.add(index)
+
+    def touched_indices(self) -> List[int]:
+        """Sorted indices mutated since the last :meth:`clear_touched`."""
+        return sorted(i for i in self._touched if i in self._entries)
+
+    def clear_touched(self) -> None:
+        """Reset mutation tracking (after a successful commit)."""
+        self._touched.clear()
 
     def indices(self) -> List[int]:
         """Sorted chunk indices present in the map."""
@@ -272,7 +357,56 @@ class ChunkMap:
             entry = ChunkMapEntry.unpack(blob[pos : pos + CHUNK_MAP_ENTRY_BYTES])
             cmap.set(entry)
             pos += CHUNK_MAP_ENTRY_BYTES
+        cmap.clear_touched()
         return cmap
+
+    def serialize_header_v2(self, version: int) -> bytes:
+        """Header xattr for the incremental (v2) format.
+
+        Entries live in omap under :func:`map_entry_key`; the xattr
+        carries only magic, chunk size, entry count, and the committed
+        map version.
+        """
+        return _MAP_HEADER_V2.pack(
+            _MAP_MAGIC_V2, self.chunk_size, len(self._entries), version
+        )
+
+    def omap_entries(self, indices: Optional[List[int]] = None) -> Dict[str, bytes]:
+        """Packed omap records for ``indices`` (default: every entry)."""
+        if indices is None:
+            indices = sorted(self._entries)
+        return {map_entry_key(i): self._entries[i].pack() for i in indices}
+
+    @classmethod
+    def from_stored_v2(cls, header: bytes, omap: Mapping[str, bytes]) -> "ChunkMap":
+        """Decode an incremental-format map from header xattr + omap."""
+        magic, chunk_size, count, _version = _MAP_HEADER_V2.unpack_from(header)
+        if magic != _MAP_MAGIC_V2:
+            raise ValueError(f"bad v2 chunk map magic {magic!r}")
+        cmap = cls(chunk_size)
+        for key, blob in omap.items():
+            if not key.startswith(MAP_OMAP_PREFIX):
+                continue
+            cmap.set(ChunkMapEntry.unpack(blob))
+        if len(cmap) != count:
+            raise ValueError(
+                f"v2 chunk map header claims {count} entries, omap has {len(cmap)}"
+            )
+        cmap.clear_touched()
+        cmap.stored_v2 = True
+        return cmap
+
+
+def decode_stored_map(header: bytes, omap: Mapping[str, bytes]) -> ChunkMap:
+    """Decode a stored chunk map, dispatching on the header magic.
+
+    Accepts both the legacy whole-blob format (``CMAP``: entries inline
+    in the xattr) and the incremental format (``CMP2``: entries in omap
+    under ``map.<idx>`` keys).
+    """
+    if is_v2_map_header(header):
+        return ChunkMap.from_stored_v2(header, omap)
+    return ChunkMap.deserialize(header)
 
 
 @dataclass(frozen=True, order=True)
@@ -282,6 +416,8 @@ class ChunkRef:
     Matches the paper's reference record: (pool id, source object ID,
     offset).
     """
+
+    __slots__ = ("pool_id", "source_oid", "offset")
 
     pool_id: int
     source_oid: str

@@ -158,6 +158,10 @@ def collect_garbage(tier: DedupTier):
                 report.bytes_reclaimed += length
         finally:
             lock.release()
+    # GC rewrites reference state the maps imply; a decoded map cached
+    # across the collection could disagree with what GC just decided
+    # was live.  Defensive full drop — GC is rare and offline.
+    tier.invalidate_map_cache()
     return report
 
 

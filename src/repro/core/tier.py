@@ -36,7 +36,17 @@ from ..sim import Resource
 from ..util.bloom import BloomFilter
 from .config import DedupConfig
 from .cache import CacheManager
-from .objects import CHUNK_MAP_XATTR, REFS_XATTR, ChunkMap, ChunkRef, RefSet
+from .objects import (
+    CHUNK_MAP_XATTR,
+    MAP_OMAP_PREFIX,
+    REFS_XATTR,
+    ChunkMap,
+    ChunkRef,
+    RefSet,
+    decode_stored_map,
+    is_v2_map_header,
+    map_entry_key,
+)
 from .rate_control import OpWindow, RateController
 
 __all__ = [
@@ -204,6 +214,21 @@ class DedupTier:
         #: Hot-path stage counters (chunking/fingerprint/ref/flush) the
         #: perf harness snapshots; always on, bumped inline.
         self.stage = StageCounters()
+        # Versioned LRU of decoded ChunkMaps in front of load_chunk_map:
+        # oid -> (version, ChunkMap).  The per-oid version counters in
+        # _map_versions advance on every committed mutation (and on
+        # explicit invalidation), so a cached decode is served only when
+        # its version still matches — the same freshness discipline the
+        # RefSet LRU follows, but with an explicit version instead of a
+        # pop, so an in-flight stale object can never be re-installed.
+        self._map_cache: "OrderedDict[str, Tuple[int, ChunkMap]]" = OrderedDict()
+        self._map_cache_cap = self.config.map_cache_entries
+        self._map_versions: Dict[str, int] = {}
+        # Recovery and rebalance can rewrite metadata objects underneath
+        # the tier (restoring an older committed state); both notify the
+        # cluster's repair listeners, and the tier answers by dropping
+        # every decoded-map and RefSet cache entry.
+        cluster.add_repair_listener(self._on_cluster_repair)
         # LRU of hot RefSets in front of _load_refs: repeat-duplicate
         # workloads skip the chunk-pool read (and the per-lookup
         # deserialization) entirely.  Entries are invalidated on chunk
@@ -329,9 +354,65 @@ class DedupTier:
         # still be parked on its pre-remap acting set.
         for osd in self.cluster.acting_osds(self.metadata_pool, oid):
             if osd.up and osd.store.exists(key):
-                blob = osd.store.get(key).xattrs.get(CHUNK_MAP_XATTR)
-                return ChunkMap.deserialize(blob) if blob else None
+                obj = osd.store.get(key)
+                blob = obj.xattrs.get(CHUNK_MAP_XATTR)
+                return decode_stored_map(blob, obj.omap) if blob else None
         return None
+
+    # -- decoded-map cache ----------------------------------------------------
+
+    def map_version(self, oid: str) -> int:
+        """Current committed map version for ``oid`` (0 = never seen)."""
+        return self._map_versions.get(oid, 0)
+
+    def _cache_map(self, oid: str, cmap: ChunkMap, version: int) -> None:
+        if self._map_cache_cap <= 0:
+            return
+        cache = self._map_cache
+        cache[oid] = (version, cmap)
+        cache.move_to_end(oid)
+        while len(cache) > self._map_cache_cap:
+            cache.popitem(last=False)
+
+    def note_map_committed(self, oid: str, cmap: ChunkMap) -> int:
+        """Record that ``cmap`` is now the committed map of ``oid``.
+
+        Bumps the object's map version, resets the map's touched-entry
+        tracking, and installs the decoded map in the cache so the next
+        ``load_chunk_map`` is a hit.  Must be called only after the
+        commit transaction succeeded.  Returns the new version.
+        """
+        version = self.map_version(oid) + 1
+        self._map_versions[oid] = version
+        cmap.stored_v2 = self.config.incremental_map_commits
+        cmap.clear_touched()
+        self._cache_map(oid, cmap, version)
+        return version
+
+    def invalidate_map_cache(self, oid: Optional[str] = None) -> None:
+        """Drop decoded maps (one object, or all when ``None``).
+
+        Owners: faulted/aborted commits (the in-memory map may have been
+        mutated without landing), deletes, GC, recovery, and rebalance
+        migration.  Bumping the version — not just popping the cache
+        entry — also fences any stale decode still held by an in-flight
+        op from being re-installed later.
+        """
+        if oid is None:
+            self.stage.map_cache_invalidations += len(self._map_cache)
+            self._map_cache.clear()
+            for known in self._map_versions:
+                self._map_versions[known] += 1
+        else:
+            if self._map_cache.pop(oid, None) is not None:
+                self.stage.map_cache_invalidations += 1
+            self._map_versions[oid] = self.map_version(oid) + 1
+
+    def _on_cluster_repair(self) -> None:
+        # Recovery / rebalance rewrote objects under us: every cached
+        # decode (maps and RefSets) is suspect.
+        self.invalidate_map_cache()
+        self.invalidate_chunk_state()
 
     def load_chunk_map(self, oid: str, span=NULL_SPAN):
         """Process: fetch the chunk map at the metadata primary.
@@ -339,21 +420,87 @@ class DedupTier:
         The lookup happens server-side as part of whatever operation
         carries it (the map lives in the object's own metadata), so the
         cost is a small primary disk read — no extra network round trip.
-        Returns ``None`` for an unknown object.
+        On the common path the versioned decoded-map cache serves the
+        map without touching the disk at all.  Returns ``None`` for an
+        unknown object.
+
+        The returned ChunkMap is shared with the cache: callers mutate
+        it in place and either commit (``note_map_committed``) or
+        invalidate (``invalidate_map_cache``) — never abandon a mutated
+        map silently.
         """
         with span.child("tier.load_chunk_map", oid=oid) as s:
+            cached = self._map_cache.get(oid)
+            if cached is not None and cached[0] == self.map_version(oid):
+                with s.child("tier.map_cache", oid=oid) as c:
+                    c.tag(hit=True)
+                    self._map_cache.move_to_end(oid)
+                    self.stage.map_cache_hits += 1
+                s.tag(found=True, map_cache="hit")
+                return cached[1]
             primary = self.cluster._primary(self.metadata_pool, oid)
             key = self.metadata_key(oid)
             if not primary.store.exists(key):
                 s.tag(found=False)
                 return None
-            blob = primary.store.get(key).xattrs.get(CHUNK_MAP_XATTR)
+            obj = primary.store.get(key)
+            blob = obj.xattrs.get(CHUNK_MAP_XATTR)
             if blob is None:
                 s.tag(found=False)
                 return None
-            yield from primary.disk.read(len(blob))
-            s.tag(found=True, nbytes=len(blob))
-            return ChunkMap.deserialize(blob)
+            nbytes = len(blob)
+            if is_v2_map_header(blob):
+                nbytes += sum(
+                    len(v)
+                    for k, v in obj.omap.items()
+                    if k.startswith(MAP_OMAP_PREFIX)
+                )
+            yield from primary.disk.read(nbytes)
+            self.stage.map_cache_misses += 1
+            s.tag(found=True, nbytes=nbytes, map_cache="miss")
+            cmap = decode_stored_map(blob, obj.omap)
+            self._cache_map(oid, cmap, self.map_version(oid))
+            return cmap
+
+    def append_map_commit(self, txn: Transaction, oid: str, cmap: ChunkMap) -> None:
+        """Add ``cmap``'s commit ops for ``oid`` to ``txn``.
+
+        Incremental mode (v2): writes the small header xattr plus one
+        omap record per *touched* entry — a 1-chunk update serialises
+        one 150-byte record instead of the whole map.  A map decoded
+        from the legacy blob is upgraded by writing every entry once.
+        Whole-map mode (v1): rewrites the full blob (and clears any v2
+        omap records left by an earlier incremental era).
+
+        The caller owns the commit outcome: on success call
+        :meth:`note_map_committed`; on a fault that may have mutated the
+        in-memory map without landing, call :meth:`invalidate_map_cache`.
+        Safe to call again for a retry attempt — touched tracking is
+        only cleared by ``note_map_committed``.
+        """
+        key = self.metadata_key(oid)
+        total = len(cmap)
+        if self.config.incremental_map_commits:
+            header = cmap.serialize_header_v2(self.map_version(oid) + 1)
+            indices = cmap.touched_indices() if cmap.stored_v2 else cmap.indices()
+            entries = cmap.omap_entries(indices)
+            txn.setxattr(key, CHUNK_MAP_XATTR, header)
+            if entries:
+                txn.omap_set(key, entries)
+            self.stage.map_commits_incremental += 1
+            self.stage.map_entries_serialized += len(entries)
+            self.stage.map_bytes_serialized += len(header) + sum(
+                len(v) for v in entries.values()
+            )
+        else:
+            blob = cmap.serialize()
+            txn.setxattr(key, CHUNK_MAP_XATTR, blob)
+            if cmap.stored_v2:
+                txn.omap_rm(key, [map_entry_key(i) for i in cmap.indices()])
+            self.stage.map_commits_full += 1
+            self.stage.map_entries_serialized += total
+            self.stage.map_bytes_serialized += len(blob)
+        self.stage.map_entries_total += total
 
     def read_local_chunk(self, oid: str, offset: int, length: int):
         """Process: read cached chunk bytes at the metadata primary.
@@ -766,7 +913,17 @@ class DedupTier:
                 if osd.store.exists(key):
                     obj = osd.store.get(key)
                     cmap_blob = obj.xattrs.get(CHUNK_MAP_XATTR, b"")
-                    cmap = ChunkMap.deserialize(cmap_blob) if cmap_blob else None
+                    cmap = (
+                        decode_stored_map(cmap_blob, obj.omap) if cmap_blob else None
+                    )
+                    # v2 maps keep entries in omap records; charge their
+                    # keys+values alongside the header so both formats
+                    # are billed for what they actually store.
+                    map_bytes = len(cmap_blob) + sum(
+                        len(k) + len(v)
+                        for k, v in obj.omap.items()
+                        if k.startswith(MAP_OMAP_PREFIX)
+                    )
                     report.metadata_objects += 1
                     report.logical_bytes += (
                         cmap.logical_size() if cmap else len(obj.data)
@@ -779,7 +936,7 @@ class DedupTier:
                         )
                     else:
                         report.cached_data_bytes += obj.allocated_bytes()
-                    report.metadata_bytes += PER_OBJECT_OVERHEAD + len(cmap_blob)
+                    report.metadata_bytes += PER_OBJECT_OVERHEAD + map_bytes
                     break
         for cid in cluster.list_objects(self.chunk_pool):
             key = cluster.object_key(self.chunk_pool, cid)

@@ -60,8 +60,15 @@ FAST = bool(os.environ.get("REPRO_BENCH_FAST"))
 REFERENCE_SCORE = 1000.0
 
 #: Config overrides that turn every hot-path optimisation off — the
-#: pre-optimisation per-op baseline.
-UNBATCHED = dict(batch_refs=False, refset_cache_entries=0, chunk_bloom_capacity=0)
+#: pre-optimisation per-op baseline (no ref batching, no RefSet cache,
+#: no negative Bloom filter, no decoded-map cache, whole-map commits).
+UNBATCHED = dict(
+    batch_refs=False,
+    refset_cache_entries=0,
+    chunk_bloom_capacity=0,
+    map_cache_entries=0,
+    incremental_map_commits=False,
+)
 
 
 def machine_score(repeats: int = 3) -> float:
@@ -355,9 +362,68 @@ def _run_pipeline_mode(
     )
 
 
+def _run_metadata_mode(
+    mode: str, overrides: dict, seed: int, fast: bool, trace: bool = False
+) -> ModeResult:
+    """Small I/O against wide chunk maps: the per-op metadata tax.
+
+    8 KiB chunks over 512 KiB objects give 64-entry maps; after an
+    initial full write + drain, every cycle issues one sub-chunk write
+    and one small read per object and drains the single dirty chunk.
+    Pre-optimisation, each of those ops decodes the whole map and each
+    commit re-serialises all 64 entries; with the versioned map cache
+    and incremental commits, the decode is a cache hit and the commit
+    serialises one entry."""
+    if trace:
+        overrides = dict(overrides, trace_ops=True)
+    chunk = 8 * KiB
+    object_size = 512 * KiB
+    nchunks = object_size // chunk
+    objects = 2 if fast else 4
+    cycles = 6 if fast else 12
+    storage = proposed(
+        build_cluster(pg_num=4), start_engine=False,
+        **dict(overrides, chunk_size=chunk),
+    )
+    gen = ContentGenerator(seed=seed, dedupe_ratio=0.5)
+    payloads = [gen.block(object_size) for _ in range(objects)]
+    sim0 = storage.sim.now
+    started = perf_counter()
+    ops = 0
+    dedup_wall = 0.0
+    for obj in range(objects):
+        storage.write_sync(f"meta.o{obj}", payloads[obj])
+        ops += 1
+    drain_started = perf_counter()
+    storage.drain()
+    dedup_wall += perf_counter() - drain_started
+    patch = bytes(64)
+    for cycle in range(cycles):
+        for obj in range(objects):
+            # Deterministic stride over the chunk indices: every cycle
+            # dirties exactly one of the 64 entries.
+            idx = (cycle * 7 + obj * 3) % nchunks
+            storage.write_sync(f"meta.o{obj}", patch, offset=idx * chunk + 17)
+            data = storage.read_sync(f"meta.o{obj}", offset=idx * chunk, length=chunk)
+            assert len(data) == chunk
+            ops += 2
+        drain_started = perf_counter()
+        storage.drain()
+        dedup_wall += perf_counter() - drain_started
+    ops += (
+        storage.engine.stats.chunks_flushed + storage.engine.stats.chunks_deduped
+    )
+    wall = perf_counter() - started
+    readback = b"".join(
+        storage.read_sync(f"meta.o{obj}") for obj in range(objects)
+    )
+    return _collect(storage, mode, wall, sim0, ops, dedup_wall, readback)
+
+
 WORKLOADS = {
     "fio-small-random": _run_fio_mode,
     "backup-incremental": _run_backup_mode,
+    "metadata-small-io": _run_metadata_mode,
     "pipeline-chunk-fingerprint": _run_pipeline_mode,
 }
 
@@ -415,6 +481,14 @@ def run_perf(
                 batched = b
         workloads.append(WorkloadResult(name, unbatched, batched))
     calibration = REFERENCE_SCORE / score
+    by_name = {w.name: w for w in workloads}
+    meta = by_name.get("metadata-small-io")
+    map_cache_hit_rate = None
+    if meta is not None:
+        hits = meta.batched.stages.get("map_cache_hits", 0)
+        misses = meta.batched.stages.get("map_cache_misses", 0)
+        if hits + misses:
+            map_cache_hit_rate = hits / (hits + misses)
     report = {
         "schema": 1,
         "fast": fast,
@@ -426,6 +500,9 @@ def run_perf(
         "summary": {
             "min_speedup": min(w.speedup for w in workloads),
             "all_verified": all(w.verified for w in workloads),
+            #: Decoded-map cache hit rate on the metadata-small-io
+            #: workload's optimised mode (None when not measurable).
+            "map_cache_hit_rate": map_cache_hit_rate,
             # Dedup-phase ops/s normalised to the reference machine, per
             # workload (what the CI baseline compares against).
             "calibrated_ops_per_sec": {
@@ -456,6 +533,25 @@ def compare_to_baseline(
             f"speedup {report['summary']['min_speedup']:.2f}x below "
             f"required floor {floor:.2f}x"
         )
+    meta = report.get("workloads", {}).get("metadata-small-io")
+    if meta is not None:
+        hit_rate = report["summary"].get("map_cache_hit_rate")
+        if hit_rate is None or hit_rate <= 0.8:
+            shown = "n/a" if hit_rate is None else f"{hit_rate:.1%}"
+            failures.append(
+                f"metadata-small-io: map cache hit rate {shown} "
+                f"not above required 80%"
+            )
+        # The incremental writer must beat whole-map rewrites on actual
+        # serialised metadata bytes, not just wall time.
+        batched_bytes = meta["batched"]["stages"].get("map_bytes_serialized", 0)
+        whole_bytes = meta["unbatched"]["stages"].get("map_bytes_serialized", 0)
+        if batched_bytes >= whole_bytes:
+            failures.append(
+                f"metadata-small-io: incremental commits serialized "
+                f"{batched_bytes} map bytes, not below whole-map "
+                f"baseline {whole_bytes}"
+            )
     base_rates = baseline.get("calibrated_ops_per_sec", {})
     for name, base_rate in base_rates.items():
         rate = report["summary"]["calibrated_ops_per_sec"].get(name)
@@ -492,6 +588,16 @@ def render_report(report: dict) -> List[str]:
             f"(batches {st_b['ref_batches']}), cache hits {st_b['refset_cache_hits']}, "
             f"bloom negatives {st_b['bloom_negative_hits']}"
         )
+        map_loads = st_b.get("map_cache_hits", 0) + st_b.get("map_cache_misses", 0)
+        if map_loads:
+            lines.append(
+                f"    map cache: {st_b['map_cache_hits']}/{map_loads} hits "
+                f"({st_b['map_cache_hits'] / map_loads:.0%}), "
+                f"entries serialized {st_b.get('map_entries_serialized', 0)}"
+                f"/{st_b.get('map_entries_total', 0)} "
+                f"({st_b.get('map_bytes_serialized', 0)} B vs "
+                f"{st_u.get('map_bytes_serialized', 0)} B whole-map)"
+            )
         pool_tasks = st_b.get("fingerprint_pool_tasks", 0)
         if pool_tasks:
             busy = st_b.get("fingerprint_pool_busy_seconds", 0.0)

@@ -65,6 +65,31 @@ class StageCounters:
     #: filter (the chunk-pool lookup was skipped entirely).
     bloom_negative_hits: int = 0
 
+    # -- map: chunk-map codec traffic -----------------------------------
+    #: ``load_chunk_map`` calls served from the versioned decoded-map
+    #: LRU (no disk read, no deserialize).
+    map_cache_hits: int = 0
+    map_cache_misses: int = 0
+    #: Cache entries dropped by explicit invalidation (faulted commits,
+    #: GC, recovery, rebalance, deletes) — LRU evictions not included.
+    map_cache_invalidations: int = 0
+    #: Chunk-map entries actually serialised by commits vs. the entries
+    #: the committed maps held in total.  Incremental (v2) commits keep
+    #: the first well below the second on small-I/O workloads; whole-map
+    #: rewrites pin them equal.
+    map_entries_serialized: int = 0
+    map_entries_total: int = 0
+    #: Bytes of map metadata written by commits (headers + entries).
+    map_bytes_serialized: int = 0
+    #: Map commits by writer format.
+    map_commits_incremental: int = 0
+    map_commits_full: int = 0
+
+    # -- read path anomalies --------------------------------------------
+    #: Chunk segments that came back short from the substrate and were
+    #: zero-padded to the expected length (see ``io_path._read_once``).
+    read_short_segments: int = 0
+
     # -- flush: new chunk payloads --------------------------------------
     flush_ops: int = 0
     flush_bytes: int = 0

@@ -1,0 +1,331 @@
+"""Versioned decoded-map cache + incremental per-entry map commits.
+
+The cache serves the metadata hot path; every test here guards one of
+its invariants: hits only at the committed version, invalidation by
+every owner that can change the stored map behind the cache (aborted
+passes, deletes, GC, recovery, rebalance), and the v2 omap commit
+format staying interchangeable with the legacy whole-blob format.
+"""
+
+import pytest
+
+from repro.cluster import RadosCluster, rebalance_sync, recover_sync
+from repro.core import (
+    CHUNK_MAP_XATTR,
+    DedupConfig,
+    DedupedStorage,
+    collect_garbage_sync,
+)
+from repro.core.objects import (
+    MAP_OMAP_PREFIX,
+    ChunkMapEntry,
+    is_v2_map_header,
+    map_entry_key,
+)
+from repro.fingerprint import fingerprint
+
+CHUNK = 1024
+
+
+def make_storage(**config_overrides):
+    defaults = dict(chunk_size=CHUNK, dedup_interval=0.01)
+    defaults.update(config_overrides)
+    cluster = RadosCluster(num_hosts=4, osds_per_host=2, pg_num=32)
+    return DedupedStorage(cluster, DedupConfig(**defaults), start_engine=False)
+
+
+def load_map(storage, oid):
+    """Drive tier.load_chunk_map synchronously."""
+    return storage.cluster.run(storage.tier.load_chunk_map(oid))
+
+
+def stored_meta(storage, oid):
+    """The metadata object as stored on some up replica."""
+    key = storage.tier.metadata_key(oid)
+    for osd in storage.cluster.osds.values():
+        if osd.up and osd.store.exists(key):
+            return osd.store.get(key)
+    raise AssertionError(f"no stored copy of {oid}")
+
+
+def stored_map_keys(storage, oid):
+    return sorted(
+        k for k in stored_meta(storage, oid).omap if k.startswith(MAP_OMAP_PREFIX)
+    )
+
+
+# -- cache mechanics ---------------------------------------------------------
+
+
+def test_committed_write_primes_cache():
+    storage = make_storage()
+    storage.write_sync("obj1", b"a" * 2 * CHUNK)
+    stage = storage.tier.stage
+    cmap = load_map(storage, "obj1")
+    assert cmap is not None
+    assert stage.map_cache_hits == 1
+    assert stage.map_cache_misses == 0
+    # The cache returns the decoded object itself, not a copy.
+    assert load_map(storage, "obj1") is cmap
+    assert stage.map_cache_hits == 2
+
+
+def test_invalidation_forces_reload_then_recaches():
+    storage = make_storage()
+    storage.write_sync("obj1", b"b" * CHUNK)
+    stage = storage.tier.stage
+    storage.tier.invalidate_map_cache("obj1")
+    assert stage.map_cache_invalidations == 1
+    load_map(storage, "obj1")
+    assert stage.map_cache_misses == 1
+    load_map(storage, "obj1")
+    assert stage.map_cache_hits == 1
+
+
+def test_version_mismatch_is_not_a_hit():
+    """A cached decode from an older version must not be served even if
+    the entry is still sitting in the cache dict."""
+    storage = make_storage()
+    storage.write_sync("obj1", b"c" * CHUNK)
+    storage.tier._map_versions["obj1"] += 1  # stale fence, cache entry kept
+    load_map(storage, "obj1")
+    assert storage.tier.stage.map_cache_hits == 0
+    assert storage.tier.stage.map_cache_misses == 1
+
+
+def test_lru_cap_evicts_oldest():
+    storage = make_storage(map_cache_entries=1)
+    storage.write_sync("a", b"a" * CHUNK)
+    storage.write_sync("b", b"b" * CHUNK)
+    assert len(storage.tier._map_cache) == 1
+    load_map(storage, "a")  # miss: evicted by b's commit
+    load_map(storage, "b")  # miss: evicted by a's reload
+    stage = storage.tier.stage
+    assert stage.map_cache_hits == 0
+    assert stage.map_cache_misses == 2
+    assert len(storage.tier._map_cache) == 1
+
+
+def test_cache_disabled_always_reloads():
+    storage = make_storage(map_cache_entries=0)
+    storage.write_sync("obj1", b"d" * CHUNK)
+    assert len(storage.tier._map_cache) == 0
+    load_map(storage, "obj1")
+    load_map(storage, "obj1")
+    stage = storage.tier.stage
+    assert stage.map_cache_hits == 0
+    assert stage.map_cache_misses == 2
+    assert storage.read_sync("obj1") == b"d" * CHUNK
+
+
+def test_delete_invalidates_cache():
+    storage = make_storage()
+    storage.write_sync("obj1", b"e" * CHUNK)
+    inv_before = storage.tier.stage.map_cache_invalidations
+    storage.delete_sync("obj1")
+    assert storage.tier.stage.map_cache_invalidations == inv_before + 1
+    assert load_map(storage, "obj1") is None
+    # Recreate under the same oid: must not resurrect the old map.
+    storage.write_sync("obj1", b"f" * CHUNK)
+    assert storage.read_sync("obj1") == b"f" * CHUNK
+    assert load_map(storage, "obj1").get(0).length == CHUNK
+
+
+# -- stale-map regressions: every owner that rewrites the stored map ---------
+
+
+def test_stale_map_after_aborted_pass():
+    """A dedup pass that races a foreground mutation mutates the decoded
+    map in memory without committing; the next load must see the stored
+    truth, not the polluted decode."""
+    storage = make_storage()
+    storage.write_sync("obj1", b"v1" * 512)
+    inv_before = storage.tier.stage.map_cache_invalidations
+
+    def racer():
+        pass_proc = storage.sim.process(
+            storage.engine.process_object("obj1", force=True)
+        )
+        # Let the pass start (load the map, begin staging), then mutate
+        # the object's seq from under it — deterministic "raced".
+        yield storage.sim.timeout(1e-6)
+        storage.tier.bump_seq("obj1")
+        yield pass_proc
+        return pass_proc.value
+
+    result = storage.cluster.run(racer())
+    assert result == "raced"
+    assert storage.tier.stage.map_cache_invalidations > inv_before
+    # Reload shows the committed state: still dirty, no chunk id.
+    cmap = load_map(storage, "obj1")
+    entry = cmap.get(0)
+    assert entry.dirty
+    assert entry.chunk_id == ""
+    # And the object still dedups fine afterwards.
+    storage.drain()
+    assert storage.read_sync("obj1") == b"v1" * 512
+
+
+def test_stale_map_after_gc():
+    storage = make_storage()
+    storage.write_sync("obj1", b"g" * 2 * CHUNK)
+    storage.drain()
+    load_map(storage, "obj1")
+    assert len(storage.tier._map_cache) > 0
+    inv_before = storage.tier.stage.map_cache_invalidations
+    miss_before = storage.tier.stage.map_cache_misses
+    collect_garbage_sync(storage.tier)
+    assert storage.tier.stage.map_cache_invalidations > inv_before
+    assert len(storage.tier._map_cache) == 0
+    load_map(storage, "obj1")
+    assert storage.tier.stage.map_cache_misses == miss_before + 1
+    assert storage.read_sync("obj1") == b"g" * 2 * CHUNK
+
+
+def test_stale_map_after_recovery():
+    storage = make_storage()
+    storage.write_sync("obj1", b"h" * CHUNK)
+    storage.drain()
+    load_map(storage, "obj1")
+    miss_before = storage.tier.stage.map_cache_misses
+    recover_sync(storage.cluster)
+    load_map(storage, "obj1")
+    assert storage.tier.stage.map_cache_misses == miss_before + 1
+    assert storage.read_sync("obj1") == b"h" * CHUNK
+
+
+def test_repair_listener_exposes_out_of_band_map_change():
+    """If repair rewrites the stored map behind the tier's back, the
+    notify hook must make the change visible on the next load."""
+    storage = make_storage()
+    storage.write_sync("obj1", b"i" * CHUNK)
+    assert load_map(storage, "obj1").get(0).dirty
+    # Out-of-band rewrite on every replica: entry length shrunk to 7.
+    from repro.core.objects import ChunkMap
+
+    doctored = ChunkMap(CHUNK)
+    doctored.set(ChunkMapEntry(0, 7))
+    blob = doctored.serialize()
+    key = storage.tier.metadata_key("obj1")
+    for osd in storage.cluster.osds.values():
+        if osd.store.exists(key):
+            obj = osd.store.get(key)
+            obj.xattrs[CHUNK_MAP_XATTR] = blob
+            for k in list(obj.omap):
+                if k.startswith(MAP_OMAP_PREFIX):
+                    del obj.omap[k]
+    # Without the notification the cache would still serve the old map.
+    storage.cluster.notify_repaired()
+    assert load_map(storage, "obj1").get(0).length == 7
+
+
+def test_stale_map_after_rebalance():
+    storage = make_storage()
+    for i in range(8):
+        storage.write_sync(f"obj{i}", bytes([i]) * CHUNK)
+    storage.drain()
+    for i in range(8):
+        load_map(storage, f"obj{i}")
+    miss_before = storage.tier.stage.map_cache_misses
+    diff = storage.cluster.expand("host4", 2)
+    assert diff.pgs_remapped > 0
+    rebalance_sync(storage.cluster)
+    assert len(storage.tier._map_cache) == 0
+    load_map(storage, "obj0")
+    assert storage.tier.stage.map_cache_misses == miss_before + 1
+    for i in range(8):
+        assert storage.read_sync(f"obj{i}") == bytes([i]) * CHUNK
+
+
+# -- incremental (v2) commit format ------------------------------------------
+
+
+def test_incremental_commit_stores_v2_header_and_omap():
+    storage = make_storage()
+    storage.write_sync("obj1", b"j" * 4 * CHUNK)
+    obj = stored_meta(storage, "obj1")
+    assert is_v2_map_header(obj.xattrs[CHUNK_MAP_XATTR])
+    assert stored_map_keys(storage, "obj1") == [map_entry_key(i) for i in range(4)]
+    assert storage.read_sync("obj1") == b"j" * 4 * CHUNK
+
+
+def test_small_update_serializes_only_touched_entries():
+    storage = make_storage()
+    storage.write_sync("obj1", b"k" * 8 * CHUNK)
+    stage = storage.tier.stage
+    before = stage.map_entries_serialized
+    # Patch 16 bytes inside chunk 5: exactly one entry is re-serialized.
+    storage.write_sync("obj1", b"P" * 16, offset=5 * CHUNK + 100)
+    assert stage.map_entries_serialized == before + 1
+    assert stage.map_commits_incremental >= 2
+    assert stage.map_commits_full == 0
+    # Stored map still covers all 8 chunks and reads back correctly.
+    assert len(stored_map_keys(storage, "obj1")) == 8
+    expected = bytearray(b"k" * 8 * CHUNK)
+    expected[5 * CHUNK + 100 : 5 * CHUNK + 116] = b"P" * 16
+    assert storage.read_sync("obj1") == bytes(expected)
+
+
+def test_dedup_pass_commits_only_processed_entries():
+    storage = make_storage()
+    storage.write_sync("obj1", b"l" * 4 * CHUNK)
+    stage = storage.tier.stage
+    before = stage.map_entries_serialized
+    storage.drain()
+    # The pass touches each of the 4 entries once (chunk-id fill); it
+    # must not rewrite the map wholesale per entry.
+    delta = stage.map_entries_serialized - before
+    assert delta <= 8  # flush + eviction commits, all incremental
+    assert stage.map_commits_full == 0
+    fp = fingerprint(b"l" * CHUNK)
+    assert storage.cluster.exists(storage.tier.chunk_pool, fp)
+
+
+def test_whole_map_mode_keeps_v1_format():
+    storage = make_storage(incremental_map_commits=False)
+    storage.write_sync("obj1", b"m" * 3 * CHUNK)
+    storage.drain()
+    obj = stored_meta(storage, "obj1")
+    assert obj.xattrs[CHUNK_MAP_XATTR][:4] == b"CMAP"
+    assert stored_map_keys(storage, "obj1") == []
+    stage = storage.tier.stage
+    assert stage.map_commits_incremental == 0
+    assert stage.map_commits_full > 0
+    assert storage.read_sync("obj1") == b"m" * 3 * CHUNK
+
+
+def test_downgrade_from_v2_clears_omap_records():
+    """Turning incremental commits off after a v2 era must remove the
+    per-entry records, or a later upgrade would resurrect stale ones."""
+    storage = make_storage()
+    storage.write_sync("obj1", b"n" * 2 * CHUNK)
+    assert len(stored_map_keys(storage, "obj1")) == 2
+    storage.tier.config.incremental_map_commits = False
+    storage.write_sync("obj1", b"o" * 2 * CHUNK)
+    obj = stored_meta(storage, "obj1")
+    assert obj.xattrs[CHUNK_MAP_XATTR][:4] == b"CMAP"
+    assert stored_map_keys(storage, "obj1") == []
+    assert storage.read_sync("obj1") == b"o" * 2 * CHUNK
+
+
+def test_v1_to_v2_upgrade_writes_every_entry():
+    """A map decoded from a legacy blob has no touched history: the
+    first incremental commit must write all entries."""
+    storage = make_storage(incremental_map_commits=False)
+    storage.write_sync("obj1", b"p" * 3 * CHUNK)
+    assert stored_map_keys(storage, "obj1") == []
+    storage.tier.config.incremental_map_commits = True
+    storage.tier.invalidate_map_cache("obj1")  # force decode from v1 blob
+    storage.write_sync("obj1", b"q" * 16, offset=CHUNK + 5)
+    # Upgrade: header flipped to v2 and every entry materialised.
+    obj = stored_meta(storage, "obj1")
+    assert is_v2_map_header(obj.xattrs[CHUNK_MAP_XATTR])
+    assert len(stored_map_keys(storage, "obj1")) == 3
+    expected = bytearray(b"p" * 3 * CHUNK)
+    expected[CHUNK + 5 : CHUNK + 21] = b"q" * 16
+    assert storage.read_sync("obj1") == bytes(expected)
+
+
+def test_config_rejects_negative_cache_size():
+    with pytest.raises(ValueError):
+        DedupConfig(map_cache_entries=-1)

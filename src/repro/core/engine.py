@@ -316,8 +316,9 @@ class DedupEngine:
                 if tier.seq(oid) != seq_at_start:
                     # Raced before the batch committed: nothing in the
                     # chunk pool was touched, so there is nothing to undo.
-                    # The in-memory map was mutated without committing —
-                    # the cached decode must go too.
+                    # The seq bump signals a mutation this pass did not
+                    # observe — distrust the cached decode and let the
+                    # requeued pass re-read the stored truth.
                     tier.invalidate_map_cache(oid)
                     self.stats.objects_aborted_race += 1
                     tier.mark_dirty(oid)
@@ -347,9 +348,9 @@ class DedupEngine:
                 )
                 tier.note_map_committed(oid, cmap)
         except Exception as exc:
-            # The pass mutated the in-memory map (flags, chunk ids) but
-            # the commit never landed: drop the cached decode before any
-            # other cleanup so no later load serves it.
+            # The map commit may have faulted after partially landing:
+            # drop the cached decode before any other cleanup so no
+            # later load serves a snapshot the store no longer matches.
             tier.invalidate_map_cache(oid)
             # Skip-and-requeue degradation: a fault mid-pass (after the
             # I/O path's retries gave up) abandons the pass *before* the
@@ -501,8 +502,8 @@ class DedupEngine:
                 if promoted == 0:
                     return "nothing"
                 if tier.seq(oid) != seq_at_start:
-                    # Entries were marked valid in memory without a
-                    # commit: the cached decode is polluted.
+                    # Raced: a mutation this promotion did not observe
+                    # landed mid-flight — distrust the cached decode.
                     tier.invalidate_map_cache(oid)
                     return "raced"
                 tier.append_map_commit(txn, oid, cmap)
@@ -564,9 +565,9 @@ class DedupEngine:
         try:
             yield from tier.cluster.submit(tier.metadata_pool, oid, txn, via)
         except Exception as exc:
-            # Eviction is deferrable: the commit never happened, but the
-            # in-memory entry was already cleared — drop the cached
-            # decode; the LRU offers the chunk again on the next pass.
+            # Eviction is deferrable: the faulted commit may have
+            # partially landed — drop the cached decode; the LRU offers
+            # the chunk again on the next pass.
             tier.invalidate_map_cache(oid)
             if not is_retryable(exc):
                 raise

@@ -203,8 +203,8 @@ def _write_locked(
             span=span,
         )
     except Exception:
-        # The in-memory map was mutated but the commit never landed:
-        # the cached decode must not survive.
+        # The faulted commit may have partially landed: the stored map
+        # no longer necessarily matches the cached committed snapshot.
         tier.invalidate_map_cache(oid)
         raise
     tier.note_map_committed(oid, cmap)

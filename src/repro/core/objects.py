@@ -198,6 +198,21 @@ class ChunkMapEntry:
         self.valid = ()
         self.cached = False
 
+    def copy(self) -> "ChunkMapEntry":
+        """Field-level copy, bypassing ``__init__`` validation.
+
+        ``chunk_id`` (str) and ``valid`` (tuple) are immutable and
+        shared; mutating the copy never affects the original.
+        """
+        dup = ChunkMapEntry.__new__(ChunkMapEntry)
+        dup.offset = self.offset
+        dup.length = self.length
+        dup.chunk_id = self.chunk_id
+        dup.cached = self.cached
+        dup.dirty = self.dirty
+        dup.valid = self.valid
+        return dup
+
     def missing_ranges(self) -> Tuple[Tuple[int, int], ...]:
         """Chunk-relative ranges *not* in the cache (complement of valid)."""
         out = []
@@ -296,6 +311,16 @@ class ChunkMap:
         idx = entry.offset // self.chunk_size
         self._entries[idx] = entry
         self._touched.add(idx)
+
+    def copy(self) -> "ChunkMap":
+        """Entry-level deep copy: mutating the copy (or any of its
+        entries) never affects the original.  Touched tracking and
+        ``stored_v2`` carry over, so a copy commits identically."""
+        dup = ChunkMap(self.chunk_size)
+        dup._entries = {i: e.copy() for i, e in self._entries.items()}
+        dup._touched = set(self._touched)
+        dup.stored_v2 = self.stored_v2
+        return dup
 
     def mark_touched(self, index: int) -> None:
         """Record an in-place mutation of the entry at ``index``.

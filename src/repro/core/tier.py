@@ -215,7 +215,10 @@ class DedupTier:
         #: perf harness snapshots; always on, bumped inline.
         self.stage = StageCounters()
         # Versioned LRU of decoded ChunkMaps in front of load_chunk_map:
-        # oid -> (version, ChunkMap).  The per-oid version counters in
+        # oid -> (version, ChunkMap).  The cache holds *committed
+        # snapshots only*; every load hands out a private copy, so a
+        # caller mutating its map across yields can never pollute what
+        # concurrent readers see.  The per-oid version counters in
         # _map_versions advance on every committed mutation (and on
         # explicit invalidation), so a cached decode is served only when
         # its version still matches — the same freshness discipline the
@@ -224,6 +227,11 @@ class DedupTier:
         self._map_cache: "OrderedDict[str, Tuple[int, ChunkMap]]" = OrderedDict()
         self._map_cache_cap = self.config.map_cache_entries
         self._map_versions: Dict[str, int] = {}
+        # Global fence for invalidate-all: per-oid version bumps only
+        # cover oids with a version entry, but an object cached purely
+        # via load misses sits at version 0 — the epoch catches its
+        # in-flight decodes too (bumped alongside full invalidation).
+        self._map_epoch = 0
         # Recovery and rebalance can rewrite metadata objects underneath
         # the tier (restoring an older committed state); both notify the
         # cluster's repair listeners, and the tier answers by dropping
@@ -386,7 +394,10 @@ class DedupTier:
         self._map_versions[oid] = version
         cmap.stored_v2 = self.config.incremental_map_commits
         cmap.clear_touched()
-        self._cache_map(oid, cmap, version)
+        # Cache a private snapshot: the caller keeps ownership of
+        # ``cmap`` and may keep mutating it without polluting the
+        # committed state served to concurrent loads.
+        self._cache_map(oid, cmap.copy(), version)
         return version
 
     def invalidate_map_cache(self, oid: Optional[str] = None) -> None:
@@ -401,6 +412,11 @@ class DedupTier:
         if oid is None:
             self.stage.map_cache_invalidations += len(self._map_cache)
             self._map_cache.clear()
+            # The epoch fences in-flight decodes of objects with no
+            # version entry yet (still at version 0, e.g. cached purely
+            # via load misses after a tier restart) — the per-oid bumps
+            # below cannot reach those.
+            self._map_epoch += 1
             for known in self._map_versions:
                 self._map_versions[known] += 1
         else:
@@ -424,10 +440,12 @@ class DedupTier:
         map without touching the disk at all.  Returns ``None`` for an
         unknown object.
 
-        The returned ChunkMap is shared with the cache: callers mutate
-        it in place and either commit (``note_map_committed``) or
-        invalidate (``invalidate_map_cache``) — never abandon a mutated
-        map silently.
+        The returned ChunkMap is the caller's *private copy* (hit or
+        miss): readers get a consistent committed snapshot even while a
+        lock-holding writer mutates its own copy across yields, and a
+        mutating caller either commits (``note_map_committed``) or
+        invalidates (``invalidate_map_cache``) — the cache itself only
+        ever holds committed snapshots.
         """
         with span.child("tier.load_chunk_map", oid=oid) as s:
             cached = self._map_cache.get(oid)
@@ -437,7 +455,7 @@ class DedupTier:
                     self._map_cache.move_to_end(oid)
                     self.stage.map_cache_hits += 1
                 s.tag(found=True, map_cache="hit")
-                return cached[1]
+                return cached[1].copy()
             primary = self.cluster._primary(self.metadata_pool, oid)
             key = self.metadata_key(oid)
             if not primary.store.exists(key):
@@ -448,18 +466,34 @@ class DedupTier:
             if blob is None:
                 s.tag(found=False)
                 return None
+            # Snapshot everything the decode needs *before* the disk
+            # yield: a lock-holding writer may commit while this process
+            # is parked on the read, replacing the header xattr and the
+            # omap records under us — decoding a mix of old header and
+            # new records raises (v2 entry-count check) or yields a
+            # torn map.
             nbytes = len(blob)
+            omap_records: Dict[str, bytes] = {}
             if is_v2_map_header(blob):
-                nbytes += sum(
-                    len(v)
+                omap_records = {
+                    k: v
                     for k, v in obj.omap.items()
                     if k.startswith(MAP_OMAP_PREFIX)
-                )
+                }
+                nbytes += sum(len(v) for v in omap_records.values())
+            version = self.map_version(oid)
+            epoch = self._map_epoch
             yield from primary.disk.read(nbytes)
             self.stage.map_cache_misses += 1
             s.tag(found=True, nbytes=nbytes, map_cache="miss")
-            cmap = decode_stored_map(blob, obj.omap)
-            self._cache_map(oid, cmap, self.map_version(oid))
+            cmap = decode_stored_map(blob, omap_records)
+            # Install only when nothing committed or invalidated during
+            # the yield — a stale decode must not overwrite the fresh
+            # entry a concurrent commit just installed, nor re-enter
+            # after a repair fence.  The decode itself is still returned:
+            # it is a consistent snapshot of the pre-yield committed map.
+            if version == self.map_version(oid) and epoch == self._map_epoch:
+                self._cache_map(oid, cmap.copy(), version)
             return cmap
 
     def append_map_commit(self, txn: Transaction, oid: str, cmap: ChunkMap) -> None:

@@ -65,8 +65,11 @@ def test_committed_write_primes_cache():
     assert cmap is not None
     assert stage.map_cache_hits == 1
     assert stage.map_cache_misses == 0
-    # The cache returns the decoded object itself, not a copy.
-    assert load_map(storage, "obj1") is cmap
+    # Hits serve a private copy of the committed snapshot — equal
+    # content, never the same instance (snapshot isolation).
+    second = load_map(storage, "obj1")
+    assert second is not cmap
+    assert list(second) == list(cmap)
     assert stage.map_cache_hits == 2
 
 
@@ -129,6 +132,129 @@ def test_delete_invalidates_cache():
     storage.write_sync("obj1", b"f" * CHUNK)
     assert storage.read_sync("obj1") == b"f" * CHUNK
     assert load_map(storage, "obj1").get(0).length == CHUNK
+
+
+# -- snapshot isolation & in-flight fences -----------------------------------
+
+
+def finish(gen):
+    """Drive a parked tier generator to completion outside the sim loop.
+
+    The sim events it yields (disk-server grants, timeouts) carry no
+    waiting process, so stepping past them by hand is safe; any orphaned
+    queue entries fire as no-ops on the next sim run.
+    """
+    try:
+        while True:
+            gen.send(None)
+    except StopIteration as stop:
+        return stop.value
+
+
+def test_loads_return_isolated_copies():
+    """A caller mutating its loaded map must never pollute what other
+    loads see — readers take no lock, so they rely on this isolation."""
+    storage = make_storage()
+    storage.write_sync("obj1", b"q" * CHUNK)
+    a = load_map(storage, "obj1")
+    b = load_map(storage, "obj1")
+    assert a is not b
+    assert a.get(0) is not b.get(0)
+    # Mutate one copy the way a mid-flight dedup pass would.
+    a.get(0).chunk_id = "bogus-fp"
+    a.get(0).clear_valid()
+    assert b.get(0).chunk_id == ""
+    assert b.get(0).cached
+    c = load_map(storage, "obj1")
+    assert c.get(0).chunk_id == ""
+    assert c.get(0).cached
+
+
+def test_commit_during_load_yield_keeps_fresh_cache_entry():
+    """A load miss parked on its disk read while a lock-holding writer
+    commits must neither crash on a torn header/omap decode nor
+    overwrite the freshly committed cache entry with its stale one."""
+    storage = make_storage()
+    tier = storage.tier
+    storage.write_sync("obj1", b"r" * 2 * CHUNK)
+    tier.invalidate_map_cache("obj1")  # force the next load to miss
+
+    gen = tier.load_chunk_map("obj1")
+    next(gen)  # parked on the simulated disk read
+
+    # Emulate the racing writer's commit landing during the yield: the
+    # stored header + omap gain a third entry and the version bumps.
+    from repro.core.objects import decode_stored_map
+
+    primary = storage.cluster._primary(tier.metadata_pool, "obj1")
+    obj = primary.store.get(tier.metadata_key("obj1"))
+    new_map = decode_stored_map(obj.xattrs[CHUNK_MAP_XATTR], obj.omap)
+    new_map.set(ChunkMapEntry(2 * CHUNK, CHUNK))
+    obj.xattrs[CHUNK_MAP_XATTR] = new_map.serialize_header_v2(
+        tier.map_version("obj1") + 1
+    )
+    obj.omap[map_entry_key(2)] = new_map.get(2).pack()
+    tier.note_map_committed("obj1", new_map)
+
+    # The resumed loader decodes its pre-yield snapshot: a consistent
+    # 2-entry map, not a ValueError from old header + new omap.
+    stale = finish(gen)
+    assert len(stale) == 2
+    # ... and the cache still serves the 3-entry committed map.
+    version, cached = tier._map_cache["obj1"]
+    assert version == tier.map_version("obj1")
+    assert len(cached) == 3
+    assert len(load_map(storage, "obj1")) == 3
+
+
+def test_invalidate_all_fences_version_zero_load():
+    """invalidate_map_cache(None) must fence in-flight decodes even for
+    objects with no version entry (cached purely via load misses, e.g.
+    after a tier restart) — they sit at version 0 before *and* after."""
+    storage = make_storage()
+    storage.write_sync("obj1", b"s" * CHUNK)
+    tier = storage.tier
+    # Forget commit history: the object is now known only to the store.
+    tier._map_cache.clear()
+    tier._map_versions.clear()
+
+    gen = tier.load_chunk_map("obj1")
+    next(gen)  # parked on the disk read, version 0 captured
+    tier.invalidate_map_cache()  # repair/rebalance fence mid-flight
+    cmap = finish(gen)
+    assert cmap is not None
+    # The pre-fence decode must not have re-installed itself.
+    assert "obj1" not in tier._map_cache
+    miss_before = tier.stage.map_cache_misses
+    load_map(storage, "obj1")
+    assert tier.stage.map_cache_misses == miss_before + 1
+
+
+def test_read_during_batched_pass_is_consistent():
+    """A lock-free reader racing a batched dedup pass sees the committed
+    snapshot, not the pass's half-re-pointed private map."""
+    from repro.core.io_path import read_path
+
+    storage = make_storage()
+    data = bytes(range(256)) * (4 * CHUNK // 256)
+    storage.write_sync("obj1", data)
+
+    def scenario():
+        pass_proc = storage.sim.process(
+            storage.engine.process_object("obj1", force=True)
+        )
+        # Land the read mid-pass: entries in the pass's copy are already
+        # re-pointed at chunk objects its batch has not committed yet.
+        yield storage.sim.timeout(1e-5)
+        read_proc = storage.sim.process(read_path(storage.tier, "obj1"))
+        yield pass_proc
+        yield read_proc
+        return pass_proc.value, read_proc.value
+
+    result, got = storage.cluster.run(scenario())
+    assert result == "done"
+    assert got == data
+    assert storage.read_sync("obj1") == data
 
 
 # -- stale-map regressions: every owner that rewrites the stored map ---------

@@ -114,6 +114,10 @@ for seed in 11 29 4242; do
 done
 
 # -- perf-smoke job ---------------------------------------------------------
+# Runs every harness workload, including the read-heavy
+# read-sequential-deduped one: the baseline gates min_speedup,
+# min_read_speedup (read fan-out + coalescing + chunk data cache), and
+# the >60% re-read chunk-cache hit rate.
 step "perf-smoke: harness vs committed baseline" \
     env PYTHONPATH=src python -m repro perf --fast --workers 4 \
     --out BENCH_perf.json \

@@ -34,6 +34,16 @@ def main(argv=None) -> int:
         help="min_speedup_floor to embed (default: %(default)s)",
     )
     parser.add_argument(
+        "--read-speedup-floor",
+        type=float,
+        default=1.5,
+        help=(
+            "min_read_speedup_floor to embed: the batched read path "
+            "(fan-out + coalescing + chunk data cache) must beat the "
+            "sequential uncached one by this factor (default: %(default)s)"
+        ),
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         default=4,
@@ -99,6 +109,7 @@ def main(argv=None) -> int:
         ),
         "recorded_with": recorded_with,
         "min_speedup_floor": args.speedup_floor,
+        "min_read_speedup_floor": args.read_speedup_floor,
         "calibrated_ops_per_sec": {
             name: round(rate)
             for name, rate in report["summary"]["calibrated_ops_per_sec"].items()

@@ -19,6 +19,7 @@ throughput (Figure 11's 128 KiB case).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import List, Optional, Tuple
 
 from ..cluster import NoSuchObject, Transaction
@@ -99,6 +100,34 @@ def _read_chunk_piece(tier, chunk_id, offset, length, client, span=NULL_SPAN):
             return data
 
         data = yield from tier.retrying(attempt, op="read_chunk", span=s)
+        return data
+
+
+def _read_chunk_group(tier, fetches, client, span=NULL_SPAN):
+    """Process: one coalesced multi-op read for chunk fetches sharing a
+    placement group (:meth:`~repro.cluster.RadosCluster.read_batch`).
+
+    Returns a list of byte strings aligned with ``fetches``.  Retried
+    as a unit — reads are side-effect free, so a transient fault just
+    re-issues the whole group.
+    """
+    cluster = tier.cluster
+    client = client or cluster._default_client
+
+    with span.child("tier.read_group", chunks=len(fetches)) as s:
+
+        def attempt():
+            # Forwarding hop: metadata primary -> chunk-pool primaries.
+            yield tier.sim.timeout(cluster.profile.nic.latency)
+            data = yield from cluster.read_batch(
+                tier.chunk_pool,
+                [(cid, f_off, f_len) for cid, f_off, f_len, _admit, _p in fetches],
+                client,
+                span=s,
+            )
+            return data
+
+        data = yield from tier.retrying(attempt, op="read_batch", span=s)
         return data
 
 
@@ -303,6 +332,167 @@ def read_path(
                 continue
 
 
+def _place_segment(tier, buf, base, sstart, seg_len, segment, span):
+    """Copy one gathered segment into the assembly buffer.
+
+    A segment can come back short when the backing object was truncated
+    or re-pointed mid-read; pad to keep the gather shape, but never
+    silently — the span and counter make the anomaly visible to the
+    harness and to traces.
+    """
+    if len(segment) != seg_len:
+        tier.stage.read_short_segments += 1
+        span.annotate(
+            "read_short_segment",
+            offset=sstart,
+            expected=seg_len,
+            got=len(segment),
+        )
+        segment = segment[:seg_len] + b"\x00" * (seg_len - len(segment))
+    buf[sstart - base : sstart - base + seg_len] = segment
+
+
+def _windowed(window, gen):
+    """Process: run ``gen`` holding one slot of the fan-out window."""
+    yield window.acquire()
+    try:
+        result = yield from gen
+        return result
+    finally:
+        window.release()
+
+
+def _gather(tier, oid, buf, base, cached_pieces, chunk_pieces, client, span=NULL_SPAN):
+    """Process: fetch every planned piece and assemble ``buf`` in place.
+
+    Three layers, each independently disableable (the UNBATCHED perf
+    baseline turns all three off):
+
+    1. **chunk data cache** — chunk-backed pieces whose fingerprint is
+       resident are served from memory with no simulated I/O; misses on
+       a second-sighted fingerprint widen the fetch to the whole chunk
+       so it can be admitted (never a torn payload — admission checks
+       the length against the map entry);
+    2. **contiguity-aware coalescing** — remaining fetches are grouped
+       by the placement group holding the chunk and issued as one
+       :meth:`~repro.cluster.RadosCluster.read_batch` multi-op per
+       group (compressed pools fall back to per-chunk reads, which
+       need whole-chunk decompression anyway);
+    3. **bounded fan-out** — the resulting jobs (cached pieces + chunk
+       fetches/groups) run concurrently through the tier's read window,
+       or strictly one at a time when the window is disabled.
+
+    Cache hit/miss tallies are folded into the stage counters only when
+    the attempt completes, so a ``NoSuchObject`` race retried by
+    :func:`read_path` never double-counts.
+    """
+    cache = tier.chunk_data_cache
+    hits = 0
+    misses = 0
+    pending: List[Tuple[int, str, int, int, int]] = []
+    for piece in chunk_pieces:
+        sstart, chunk_id, rel, ln, _entry_len = piece
+        if cache.enabled:
+            data = cache.get(chunk_id)
+            if data is not None:
+                hits += 1
+                _place_segment(tier, buf, base, sstart, ln, data[rel : rel + ln], span)
+                continue
+            misses += 1
+        pending.append(piece)
+    if hits or misses:
+        with span.child("tier.chunk_cache") as s_cc:
+            s_cc.tag(hits=hits, misses=misses)
+
+    # Merge pieces of the same chunk object into one covering fetch;
+    # widen to the full chunk when the admission filter wants a copy.
+    # fetches: (chunk id, fetch offset, fetch length, admit, pieces)
+    fetches: List[Tuple[str, int, int, bool, list]] = []
+    by_chunk: "OrderedDict[str, list]" = OrderedDict()
+    for piece in pending:
+        by_chunk.setdefault(piece[1], []).append(piece)
+    for chunk_id, pieces in by_chunk.items():
+        entry_len = max(p[4] for p in pieces)
+        if cache.should_admit(chunk_id, entry_len):
+            fetches.append((chunk_id, 0, entry_len, True, pieces))
+        else:
+            f_off = min(p[2] for p in pieces)
+            f_len = max(p[2] + p[3] for p in pieces) - f_off
+            cache.note_seen(chunk_id)
+            fetches.append((chunk_id, f_off, f_len, False, pieces))
+
+    def place_fetch(fetch, data):
+        chunk_id, f_off, f_len, admit, pieces = fetch
+        if admit and len(data) == f_len:
+            cache.admit(chunk_id, bytes(data))
+        for sstart, _cid, rel, ln, _el in pieces:
+            _place_segment(
+                tier, buf, base, sstart, ln, data[rel - f_off : rel - f_off + ln], span
+            )
+
+    # Build the job list: (generator, result handler).
+    jobs: List[Tuple[object, object]] = []
+    for sstart, ln in cached_pieces:
+        gen = _read_cached_piece(tier, oid, sstart, ln, client, span)
+        jobs.append((gen, lambda seg, s=sstart, n=ln: _place_segment(
+            tier, buf, base, s, n, seg, span)))
+    batches = 0
+    batched_chunks = 0
+    coalesce = (
+        tier.config.coalesce_reads
+        and not tier.config.compress_chunks
+        and len(fetches) > 1
+    )
+    if coalesce:
+        groups: "OrderedDict[int, list]" = OrderedDict()
+        for fetch in fetches:
+            groups.setdefault(tier.chunk_pool.pg_of(fetch[0]), []).append(fetch)
+        for pg in sorted(groups):
+            grp = groups[pg]
+            gen = _read_chunk_group(tier, grp, client, span)
+
+            def handle_group(results, grp=grp):
+                for fetch, data in zip(grp, results):
+                    place_fetch(fetch, data)
+
+            jobs.append((gen, handle_group))
+        batches = len(groups)
+        batched_chunks = len(fetches)
+    else:
+        for fetch in fetches:
+            chunk_id, f_off, f_len, _admit, _pieces = fetch
+            gen = _read_chunk_piece(tier, chunk_id, f_off, f_len, client, span)
+            jobs.append((gen, lambda data, f=fetch: place_fetch(f, data)))
+
+    window = tier.read_window
+    with span.child("tier.read_fanout") as s_f:
+        s_f.tag(
+            jobs=len(jobs),
+            cache_hits=hits,
+            chunk_fetches=len(fetches),
+            batches=batches,
+            window=tier.config.read_fanout_window,
+        )
+        if window is None or len(jobs) <= 1:
+            # Sequential issue: the pre-optimisation baseline (and the
+            # trivial single-job case, where a process adds only cost).
+            for gen, handle in jobs:
+                result = yield from gen
+                handle(result)
+        else:
+            procs = [
+                tier.sim.process(_windowed(window, gen)) for gen, _handle in jobs
+            ]
+            results = yield tier.sim.all_of(procs)
+            for (_gen, handle), result in zip(jobs, results):
+                handle(result)
+    tier.stage.chunk_cache_hits += hits
+    tier.stage.chunk_cache_misses += misses
+    tier.stage.fanout_chunk_reads += len(fetches)
+    tier.stage.fanout_batches += batches
+    tier.stage.fanout_batched_chunks += batched_chunks
+
+
 def _read_once(tier, oid, offset, length, client, span=NULL_SPAN):
     cmap = yield from tier.load_chunk_map(oid, span=span)
     if cmap is None:
@@ -316,7 +506,12 @@ def _read_once(tier, oid, offset, length, client, span=NULL_SPAN):
         tier.cache.record_access(oid)
         return b""
     cs = tier.config.chunk_size
-    jobs: List[Tuple[int, int, object]] = []  # (segment start, length, process)
+    # Plan the read: split the requested range into cache-valid pieces
+    # (served from the metadata object) and chunk-backed pieces (served
+    # by the chunk pool, or zeros when the chunk was never flushed).
+    cached_pieces: List[Tuple[int, int]] = []  # (abs start, length)
+    chunk_pieces: List[Tuple[int, str, int, int, int]] = []
+    # ^ (abs start, chunk id, chunk-relative offset, length, entry length)
     for idx in tier.chunker.aligned_range(offset, end - offset):
         cstart = idx * cs
         entry = cmap.get(idx)
@@ -326,9 +521,6 @@ def _read_once(tier, oid, offset, length, client, span=NULL_SPAN):
         send = min(end, entry.end)
         if send <= sstart:
             continue
-        # Split the requested range into cache-valid pieces (served from
-        # the metadata object) and missing pieces (served by the chunk
-        # object, or zeros when the chunk was never flushed there).
         for piece_start, piece_end, in_cache in _split_by_valid(
             sstart - cstart, send - cstart, entry.valid
         ):
@@ -336,53 +528,28 @@ def _read_once(tier, oid, offset, length, client, span=NULL_SPAN):
                 # Served by the metadata primary directly — the same
                 # cost as the original system's read.
                 tier.cache_hits += 1
-                gen = _read_cached_piece(
-                    tier,
-                    oid,
-                    cstart + piece_start,
-                    piece_end - piece_start,
-                    client,
-                    span=span,
+                cached_pieces.append(
+                    (cstart + piece_start, piece_end - piece_start)
                 )
             elif entry.chunk_id:
                 tier.cache_misses += 1
                 # Redirection (paper §6.2.1): the metadata pool forwards
                 # the request to the chunk pool, which returns the data
                 # to the client — one extra network hop per chunk.
-                gen = _read_chunk_piece(
-                    tier,
-                    entry.chunk_id,
-                    piece_start,
-                    piece_end - piece_start,
-                    client,
-                    span=span,
+                chunk_pieces.append(
+                    (
+                        cstart + piece_start,
+                        entry.chunk_id,
+                        piece_start,
+                        piece_end - piece_start,
+                        entry.length,
+                    )
                 )
-            else:
-                continue  # sparse zeros within the chunk
-            jobs.append(
-                (
-                    cstart + piece_start,
-                    piece_end - piece_start,
-                    tier.sim.process(gen),
-                )
-            )
+            # else: sparse zeros within the chunk
     buf = bytearray(end - offset)
-    results = yield tier.sim.all_of([proc for _s, _l, proc in jobs])
-    for (sstart, seg_len, _proc), segment in zip(jobs, results):
-        if len(segment) != seg_len:
-            # A segment can come back short when the backing object was
-            # truncated or re-pointed mid-read; pad to keep the gather
-            # shape, but never silently — the span and counter make the
-            # anomaly visible to the harness and to traces.
-            tier.stage.read_short_segments += 1
-            span.annotate(
-                "read_short_segment",
-                offset=sstart,
-                expected=seg_len,
-                got=len(segment),
-            )
-            segment = segment[:seg_len] + b"\x00" * (seg_len - len(segment))
-        buf[sstart - offset : sstart - offset + seg_len] = segment
+    yield from _gather(
+        tier, oid, buf, offset, cached_pieces, chunk_pieces, client, span
+    )
     tier.fg_window.note(end - offset)
     tier.cache.record_access(oid)
     # Hot object served from the chunk pool: promote it back into the

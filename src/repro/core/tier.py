@@ -48,6 +48,7 @@ from .objects import (
     map_entry_key,
 )
 from .rate_control import OpWindow, RateController
+from .read_cache import ChunkDataCache
 
 __all__ = [
     "ChunkBatch",
@@ -255,6 +256,27 @@ class DedupTier:
         if self._chunk_bloom is not None:
             for cid in cluster.list_objects(self.chunk_pool):
                 self._chunk_bloom.add(cid)
+        #: Hotness-aware chunk data cache in front of the chunk pool:
+        #: payloads keyed by fingerprint (content-addressed, so never
+        #: stale), admitted on their second sighting, byte-budgeted.
+        #: Wired into chunk reclamation via invalidate_chunk_state and
+        #: into recovery/rebalance via the repair listener above.
+        self.chunk_data_cache = ChunkDataCache(
+            self.config.chunk_cache_bytes,
+            self.stage,
+            ghost_entries=self.config.chunk_cache_ghost_entries,
+        )
+        #: Bounded in-flight window for parallel chunk fetches on the
+        #: read path; ``None`` means the read loop issues them one at a
+        #: time (``read_fanout_window = 0``).  Deliberately unlabeled:
+        #: a counted fan-out window is a device-style throttle, not a
+        #: lock — the runtime lock sanitizer must not treat the N
+        #: concurrent holders as suspect double-acquires.
+        self.read_window: Optional[Resource] = (
+            Resource(cluster.sim, capacity=self.config.read_fanout_window)
+            if self.config.read_fanout_window > 0
+            else None
+        )
         #: Hook invoked (with the oid) when a read finds a hot object
         #: whose chunks are not cached; the facade wires it to the
         #: engine's promotion path (§5: hot objects are cached into the
@@ -619,11 +641,19 @@ class DedupTier:
         faulted mid-way, so the cache never serves state the substrate
         may not hold.  (Bloom entries persist — a stale positive only
         costs the real existence probe.)
+
+        The chunk *data* cache is evicted here too.  Content addressing
+        means its payloads can never be byte-stale, but a reclaimed
+        chunk must stop occupying budget — and a read served purely
+        from cache after GC removed the object would mask a dangling
+        map entry that scrub should surface.
         """
         if chunk_id is None:
             self._ref_cache.clear()
+            self.chunk_data_cache.clear()
         else:
             self._ref_cache.pop(chunk_id, None)
+            self.chunk_data_cache.evict(chunk_id)
 
     def _load_refs(self, chunk_id: str) -> RefSet:
         cached = self._ref_cache.get(chunk_id)

@@ -8,6 +8,10 @@ host time, simulated time, and the per-stage counters
 simulator-free ``pipeline-chunk-fingerprint`` workload isolates the
 chunk → fingerprint pipeline itself: reference boundary scan + serial
 hashing vs the NumPy-vectorized scan + ``FingerprintPool`` fan-out.
+The ``read-sequential-deduped`` workload (and a timed read phase on
+``fio-small-random``) isolates the read path: sequential chunk fetches
+vs the parallel fan-out window + contiguity-aware coalescing + the
+hotness-aware chunk data cache.
 
 Every pair is also *verified*: both modes must produce byte-identical
 read-back, identical chunk refcounts, and the same (clean) scrub
@@ -61,13 +65,18 @@ REFERENCE_SCORE = 1000.0
 
 #: Config overrides that turn every hot-path optimisation off — the
 #: pre-optimisation per-op baseline (no ref batching, no RefSet cache,
-#: no negative Bloom filter, no decoded-map cache, whole-map commits).
+#: no negative Bloom filter, no decoded-map cache, whole-map commits,
+#: and the read path stripped of all three layers: no chunk data cache,
+#: no read coalescing, chunk fetches issued one at a time).
 UNBATCHED = dict(
     batch_refs=False,
     refset_cache_entries=0,
     chunk_bloom_capacity=0,
     map_cache_entries=0,
     incremental_map_commits=False,
+    chunk_cache_bytes=0,
+    read_fanout_window=0,
+    coalesce_reads=False,
 )
 
 
@@ -108,7 +117,14 @@ class ModeResult:
     dedup_wall_seconds: float = 0.0
     #: Chunks the engine processed (flushed + deduped) in those drains.
     dedup_ops: int = 0
+    #: Host seconds spent inside the timed read phase (0 when the
+    #: workload has none) and the object reads it issued.
+    read_wall_seconds: float = 0.0
+    read_ops: int = 0
     stages: Dict[str, float] = field(default_factory=dict)
+    #: Workload-specific extras (e.g. the re-read chunk-cache hit rate);
+    #: serialised only when non-empty.
+    extra: Dict[str, float] = field(default_factory=dict)
     #: Per-stage span rollup ({stage: {count, seconds, mean, max}} on the
     #: sim clock) when the run was traced; empty otherwise.
     spans: Dict[str, Dict[str, float]] = field(default_factory=dict)
@@ -130,8 +146,15 @@ class ModeResult:
             return 0.0
         return self.dedup_ops / self.dedup_wall_seconds
 
+    @property
+    def read_ops_per_sec(self) -> float:
+        """Read-path rate: object reads per host second in the read phase."""
+        if not self.read_wall_seconds:
+            return 0.0
+        return self.read_ops / self.read_wall_seconds
+
     def to_dict(self) -> dict:
-        return {
+        out = {
             "mode": self.mode,
             "wall_seconds": self.wall_seconds,
             "sim_seconds": self.sim_seconds,
@@ -140,11 +163,21 @@ class ModeResult:
             "dedup_wall_seconds": self.dedup_wall_seconds,
             "dedup_ops": self.dedup_ops,
             "dedup_ops_per_sec": self.dedup_ops_per_sec,
+            "read_wall_seconds": self.read_wall_seconds,
+            "read_ops": self.read_ops,
+            "read_ops_per_sec": self.read_ops_per_sec,
             "scrub_clean": self.scrub_clean,
             "readback_digest": self.readback_digest,
             "stages": self.stages,
-            "spans": self.spans,
         }
+        # Only attach the keys that carry data: an untraced run has no
+        # span rollup, and ``"spans": {}`` in BENCH_perf.json used to
+        # read as "traced but recorded nothing".
+        if self.spans:
+            out["spans"] = self.spans
+        if self.extra:
+            out["extra"] = self.extra
+        return out
 
 
 @dataclass
@@ -170,6 +203,16 @@ class WorkloadResult:
         return self.batched.ops_per_sec / self.unbatched.ops_per_sec
 
     @property
+    def read_speedup(self) -> Optional[float]:
+        """Batched over unbatched read-phase ops/s; None when the
+        workload has no timed read phase."""
+        if not self.unbatched.read_wall_seconds or not self.batched.read_wall_seconds:
+            return None
+        if self.unbatched.read_ops_per_sec == 0:
+            return None
+        return self.batched.read_ops_per_sec / self.unbatched.read_ops_per_sec
+
+    @property
     def verified(self) -> bool:
         """Byte-identical read-back, identical refcounts, both scrubs clean."""
         return (
@@ -186,6 +229,7 @@ class WorkloadResult:
             "batched": self.batched.to_dict(),
             "speedup": self.speedup,
             "end_to_end_speedup": self.end_to_end_speedup,
+            "read_speedup": self.read_speedup,
             "verify": {
                 "readback_identical": self.batched.readback_digest
                 == self.unbatched.readback_digest,
@@ -198,7 +242,9 @@ class WorkloadResult:
 
 
 def _collect(storage, mode: str, wall: float, sim0: float, ops: int,
-             dedup_wall: float, readback: bytes) -> ModeResult:
+             dedup_wall: float, readback: bytes,
+             read_wall: float = 0.0, read_ops: int = 0,
+             extra: Optional[Dict[str, float]] = None) -> ModeResult:
     tier = storage.tier
     stats = storage.engine.stats
     result = ModeResult(
@@ -208,7 +254,10 @@ def _collect(storage, mode: str, wall: float, sim0: float, ops: int,
         ops=ops,
         dedup_wall_seconds=dedup_wall,
         dedup_ops=stats.chunks_flushed + stats.chunks_deduped,
+        read_wall_seconds=read_wall,
+        read_ops=read_ops,
         stages=tier.stage.snapshot(),
+        extra=dict(extra or {}),
         readback_digest=hashlib.sha1(readback).hexdigest(),
     )
     if tier.tracer.enabled:
@@ -227,7 +276,9 @@ def _run_fio_mode(
 ) -> ModeResult:
     """Small-random fio: chunk-aligned random writes, heavy dedup, two
     write+drain cycles (the second hits existing chunks, exercising the
-    ref-append path the batching collapses)."""
+    ref-append path the batching collapses), then a timed random-read
+    phase over the deduplicated objects (exercising the read fan-out,
+    coalescing, and the chunk data cache on the second pass)."""
     if trace:
         overrides = dict(overrides, trace_ops=True)
     spec = FioJobSpec(
@@ -244,7 +295,13 @@ def _run_fio_mode(
     # chunks genuinely share PGs, so the batch merges into fewer
     # prepared transactions.  With the default 64 PGs, 8 chunks almost
     # never collide and a batch degenerates to per-PG singletons.
-    storage = proposed(build_cluster(pg_num=4), start_engine=False, **overrides)
+    # ``cache_on_flush=False`` keeps flushed chunk payloads out of the
+    # foreground object cache so the read phase actually exercises the
+    # chunk-pool read path rather than the metadata tier's local cache.
+    storage = proposed(
+        build_cluster(pg_num=4), start_engine=False,
+        **dict(overrides, cache_on_flush=False),
+    )
     runner = FioRunner(storage, spec)
     sim0 = storage.sim.now
     started = perf_counter()
@@ -259,13 +316,29 @@ def _run_fio_mode(
     total_ops += (
         storage.engine.stats.chunks_flushed + storage.engine.stats.chunks_deduped
     )
-    wall = perf_counter() - started
-    readback = b"".join(
-        storage.read_sync(f"fio.j{job}.o{obj}")
+    # Timed read phase: two full sweeps over every fio object.  The
+    # first is cold (fan-out + coalescing against the chunk pool); the
+    # second re-reads the same chunks, so with the data cache enabled
+    # most fetches never reach the pool.
+    names = [
+        f"fio.j{job}.o{obj}"
         for job in range(spec.numjobs)
         for obj in range(spec.file_size // spec.object_size)
+    ]
+    read_ops = 0
+    pieces: List[bytes] = []
+    read_started = perf_counter()
+    for _pass in range(2):
+        pieces = [storage.read_sync(name) for name in names]
+        read_ops += len(names)
+    read_wall = perf_counter() - read_started
+    total_ops += read_ops
+    wall = perf_counter() - started
+    readback = b"".join(pieces)
+    return _collect(
+        storage, mode, wall, sim0, total_ops, dedup_wall, readback,
+        read_wall=read_wall, read_ops=read_ops,
     )
-    return _collect(storage, mode, wall, sim0, total_ops, dedup_wall, readback)
 
 
 def _run_backup_mode(
@@ -420,10 +493,76 @@ def _run_metadata_mode(
     return _collect(storage, mode, wall, sim0, ops, dedup_wall, readback)
 
 
+def _run_read_mode(
+    mode: str, overrides: dict, seed: int, fast: bool, trace: bool = False
+) -> ModeResult:
+    """Sequential re-reads of a deduplicated dataset: the read path in
+    isolation.
+
+    Writes a 50 %-duplicate dataset of wide (16-chunk) objects, drains
+    it once, then runs four timed sequential read sweeps: a cold pass
+    (every chunk fetch reaches the pool; first sightings land on the
+    cache's ghost list), a warm-up pass (second sightings get admitted),
+    and two measured re-read passes whose chunk-cache hit rate is
+    captured into ``extra["reread_chunk_cache_hit_rate"]``.
+    ``cache_on_flush=False`` and ``selective_dedup=False`` force every
+    read through the chunk pool so the fan-out window, coalescing, and
+    the data cache are the only things between the client and the OSDs.
+    """
+    if trace:
+        overrides = dict(overrides, trace_ops=True)
+    object_size = 512 * KiB
+    objects = 4 if fast else 8
+    storage = proposed(
+        build_cluster(pg_num=4), start_engine=False,
+        **dict(overrides, cache_on_flush=False, selective_dedup=False),
+    )
+    gen = ContentGenerator(seed=seed, dedupe_ratio=0.5)
+    payloads = [gen.block(object_size) for _ in range(objects)]
+    sim0 = storage.sim.now
+    started = perf_counter()
+    ops = 0
+    for obj in range(objects):
+        storage.write_sync(f"read.o{obj}", payloads[obj])
+        ops += 1
+    drain_started = perf_counter()
+    storage.drain()
+    dedup_wall = perf_counter() - drain_started
+    tier = storage.tier
+    read_ops = 0
+    read_started = perf_counter()
+    for _pass in range(2):  # cold + warm-up
+        for obj in range(objects):
+            storage.read_sync(f"read.o{obj}")
+            read_ops += 1
+    stage_before = tier.stage.copy()
+    pieces: List[bytes] = []
+    for _pass in range(2):  # measured re-reads
+        pieces = [storage.read_sync(f"read.o{obj}") for obj in range(objects)]
+        read_ops += objects
+    read_wall = perf_counter() - read_started
+    reread = tier.stage.diff(stage_before)
+    hits = reread.get("chunk_cache_hits", 0)
+    misses = reread.get("chunk_cache_misses", 0)
+    extra: Dict[str, float] = {}
+    if hits + misses:
+        extra["reread_chunk_cache_hit_rate"] = hits / (hits + misses)
+    ops += read_ops + (
+        storage.engine.stats.chunks_flushed + storage.engine.stats.chunks_deduped
+    )
+    wall = perf_counter() - started
+    readback = b"".join(pieces)
+    return _collect(
+        storage, mode, wall, sim0, ops, dedup_wall, readback,
+        read_wall=read_wall, read_ops=read_ops, extra=extra,
+    )
+
+
 WORKLOADS = {
     "fio-small-random": _run_fio_mode,
     "backup-incremental": _run_backup_mode,
     "metadata-small-io": _run_metadata_mode,
+    "read-sequential-deduped": _run_read_mode,
     "pipeline-chunk-fingerprint": _run_pipeline_mode,
 }
 
@@ -489,6 +628,15 @@ def run_perf(
         misses = meta.batched.stages.get("map_cache_misses", 0)
         if hits + misses:
             map_cache_hit_rate = hits / (hits + misses)
+    read_wl = by_name.get("read-sequential-deduped")
+    chunk_cache_hit_rate = None
+    if read_wl is not None:
+        chunk_cache_hit_rate = read_wl.batched.extra.get(
+            "reread_chunk_cache_hit_rate"
+        )
+    read_speedups = [
+        w.read_speedup for w in workloads if w.read_speedup is not None
+    ]
     report = {
         "schema": 1,
         "fast": fast,
@@ -499,10 +647,16 @@ def run_perf(
         "workloads": {w.name: w.to_dict() for w in workloads},
         "summary": {
             "min_speedup": min(w.speedup for w in workloads),
+            #: Smallest read-phase speedup across the workloads that
+            #: have a timed read phase (None when none do).
+            "min_read_speedup": min(read_speedups) if read_speedups else None,
             "all_verified": all(w.verified for w in workloads),
             #: Decoded-map cache hit rate on the metadata-small-io
             #: workload's optimised mode (None when not measurable).
             "map_cache_hit_rate": map_cache_hit_rate,
+            #: Chunk data cache hit rate over the read workload's
+            #: measured re-read passes (None when not measurable).
+            "chunk_cache_hit_rate": chunk_cache_hit_rate,
             # Dedup-phase ops/s normalised to the reference machine, per
             # workload (what the CI baseline compares against).
             "calibrated_ops_per_sec": {
@@ -533,6 +687,22 @@ def compare_to_baseline(
             f"speedup {report['summary']['min_speedup']:.2f}x below "
             f"required floor {floor:.2f}x"
         )
+    read_floor = baseline.get("min_read_speedup_floor")
+    if read_floor is not None:
+        min_read = report["summary"].get("min_read_speedup")
+        if min_read is None or min_read < read_floor:
+            shown = "n/a" if min_read is None else f"{min_read:.2f}x"
+            failures.append(
+                f"read speedup {shown} below required floor {read_floor:.2f}x"
+            )
+    if "read-sequential-deduped" in report.get("workloads", {}):
+        cache_rate = report["summary"].get("chunk_cache_hit_rate")
+        if cache_rate is None or cache_rate <= 0.6:
+            shown = "n/a" if cache_rate is None else f"{cache_rate:.1%}"
+            failures.append(
+                f"read-sequential-deduped: chunk cache re-read hit rate "
+                f"{shown} not above required 60%"
+            )
     meta = report.get("workloads", {}).get("metadata-small-io")
     if meta is not None:
         hit_rate = report["summary"].get("map_cache_hit_rate")
@@ -588,6 +758,19 @@ def render_report(report: dict) -> List[str]:
             f"(batches {st_b['ref_batches']}), cache hits {st_b['refset_cache_hits']}, "
             f"bloom negatives {st_b['bloom_negative_hits']}"
         )
+        if b.get("read_wall_seconds") or u.get("read_wall_seconds"):
+            read_speedup = w.get("read_speedup")
+            shown = f"{read_speedup:.2f}x" if read_speedup else "n/a"
+            cache_lookups = st_b.get("chunk_cache_hits", 0) + st_b.get(
+                "chunk_cache_misses", 0
+            )
+            lines.append(
+                f"    read: {u.get('read_ops_per_sec', 0):.0f} -> "
+                f"{b.get('read_ops_per_sec', 0):.0f} ops/s ({shown}), "
+                f"cache {st_b.get('chunk_cache_hits', 0)}/{cache_lookups} hits, "
+                f"{st_b.get('fanout_chunk_reads', 0)} chunk fetches in "
+                f"{st_b.get('fanout_batches', 0)} coalesced round trips"
+            )
         map_loads = st_b.get("map_cache_hits", 0) + st_b.get("map_cache_misses", 0)
         if map_loads:
             lines.append(
@@ -613,10 +796,16 @@ def render_report(report: dict) -> List[str]:
             f"refcounts={'ok' if v['refcounts_identical'] else 'MISMATCH'} "
             f"scrub={'clean' if v['scrub_clean_both'] else 'UNCLEAN'}"
         )
-    lines.append(
-        f"  min speedup {report['summary']['min_speedup']:.2f}x, "
-        f"verified={report['summary']['all_verified']}"
+    summary = report["summary"]
+    tail = (
+        f"  min speedup {summary['min_speedup']:.2f}x, "
+        f"verified={summary['all_verified']}"
     )
+    if summary.get("min_read_speedup") is not None:
+        tail += f", min read speedup {summary['min_read_speedup']:.2f}x"
+    if summary.get("chunk_cache_hit_rate") is not None:
+        tail += f", chunk cache {summary['chunk_cache_hit_rate']:.0%} re-read hits"
+    lines.append(tail)
     return lines
 
 

@@ -85,6 +85,26 @@ class StageCounters:
     map_commits_incremental: int = 0
     map_commits_full: int = 0
 
+    # -- read path: fan-out, coalescing, chunk data cache ---------------
+    #: Chunk-pool reads served entirely from the chunk data cache
+    #: (content-addressed payload LRU; no simulated I/O at all), and the
+    #: lookups that fell through to the pool.  Counted only when the
+    #: cache is enabled, and folded in once per *completed* read attempt
+    #: so retries never double-count.
+    chunk_cache_hits: int = 0
+    chunk_cache_misses: int = 0
+    #: Payloads admitted past the two-hit filter / entries dropped (LRU
+    #: pressure, GC reclaim, repair fences).
+    chunk_cache_admissions: int = 0
+    chunk_cache_evictions: int = 0
+    #: Chunk-object fetches the read path issued to the pool (after the
+    #: data cache, with same-chunk pieces merged).
+    fanout_chunk_reads: int = 0
+    #: Coalesced ``read_batch`` round trips, and the chunk fetches they
+    #: carried (fanout_batched_chunks / fanout_batches = merge factor).
+    fanout_batches: int = 0
+    fanout_batched_chunks: int = 0
+
     # -- read path anomalies --------------------------------------------
     #: Chunk segments that came back short from the substrate and were
     #: zero-padded to the expected length (see ``io_path._read_once``).

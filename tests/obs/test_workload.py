@@ -73,6 +73,80 @@ def test_storage_metrics_snapshot_contains_core_families():
     )
 
 
+def test_storage_metrics_exports_cache_and_read_fanout_families():
+    """PR 2/9/10 cache counters surface as one labeled family, plus the
+    chunk-cache residency gauges and read fan-out stats, and all of them
+    survive Prometheus text exposition."""
+    from repro.cluster import RadosCluster
+    from repro.core import DedupConfig, DedupedStorage
+    from repro.obs.export import prometheus_text
+    from repro.workloads import ContentGenerator
+
+    cluster = RadosCluster(num_hosts=2, osds_per_host=2, pg_num=8)
+    storage = DedupedStorage(
+        cluster,
+        DedupConfig(chunk_size=16 * KiB, cache_on_flush=False),
+        start_engine=False,
+    )
+    gen = ContentGenerator(seed=11, dedupe_ratio=0.5)
+    for i in range(4):
+        storage.write_sync(f"o-{i}", gen.block(64 * KiB))
+    storage.drain()
+    for _ in range(3):  # cold, warm-up (admissions), re-read (hits)
+        for i in range(4):
+            storage.read_sync(f"o-{i}")
+
+    registry = storage_metrics(storage)
+    names = {family.name for family in registry.families()}
+    assert {
+        "repro_cache_events",
+        "repro_chunk_cache_bytes",
+        "repro_chunk_cache_entries",
+        "repro_read_fanout",
+        "repro_stage_counters",
+    } <= names
+
+    stage = storage.tier.stage
+    events = registry.get("repro_cache_events")
+    expected = {
+        ("refset", "hit"): stage.refset_cache_hits,
+        ("refset", "miss"): stage.refset_cache_misses,
+        ("bloom", "negative_hit"): stage.bloom_negative_hits,
+        ("map", "hit"): stage.map_cache_hits,
+        ("map", "miss"): stage.map_cache_misses,
+        ("map", "invalidation"): stage.map_cache_invalidations,
+        ("chunk_data", "hit"): stage.chunk_cache_hits,
+        ("chunk_data", "miss"): stage.chunk_cache_misses,
+        ("chunk_data", "admission"): stage.chunk_cache_admissions,
+        ("chunk_data", "eviction"): stage.chunk_cache_evictions,
+    }
+    for (cache, event), value in expected.items():
+        assert events.labels(cache=cache, event=event).value == value
+    # The workload above actually drove the chunk data cache.
+    assert stage.chunk_cache_hits > 0
+    assert stage.chunk_cache_admissions > 0
+    assert stage.fanout_chunk_reads > 0
+
+    cache = storage.tier.chunk_data_cache
+    assert registry.get("repro_chunk_cache_bytes").labels().value == (
+        cache.bytes_used
+    )
+    assert registry.get("repro_chunk_cache_entries").labels().value == len(cache)
+    assert cache.bytes_used > 0
+
+    fanout = registry.get("repro_read_fanout")
+    assert fanout.labels(stat="chunk_reads").value == stage.fanout_chunk_reads
+    assert fanout.labels(stat="batches").value == stage.fanout_batches
+    assert fanout.labels(stat="batched_chunks").value == stage.fanout_batched_chunks
+
+    text = prometheus_text(registry)
+    assert 'repro_cache_events{cache="chunk_data",event="hit"}' in text
+    assert 'repro_read_fanout{stat="batches"}' in text
+    assert "repro_chunk_cache_bytes" in text
+    # Raw stage counters keep flowing through the flat family too.
+    assert 'repro_stage_counters{counter="chunk_cache_hits"}' in text
+
+
 def test_obs_cli_trace_report_and_top_spans(tmp_path, capsys):
     trace_path = str(tmp_path / "trace.jsonl")
     metrics_path = str(tmp_path / "metrics.prom")
